@@ -1,0 +1,77 @@
+// Command benchtab regenerates the paper's tables and figures. Each
+// experiment id matches the index in DESIGN.md/EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchtab -exp T3            # one experiment, quick budget
+//	benchtab -exp all -full     # everything at full budgets (slow)
+//	benchtab -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"routerless/internal/exp"
+	"routerless/internal/viz"
+)
+
+func main() {
+	id := flag.String("exp", "all", "experiment id (T1..T5, F9..F16, S6.1, S6.7, S6.8, A, IMR, all)")
+	full := flag.Bool("full", false, "use full (paper-scale) budgets instead of quick ones")
+	seed := flag.Int64("seed", 1, "random seed")
+	csvPath := flag.String("csv", "", "also write the experiment rows as CSV to this path")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("T1   Table 1: epsilon hyperparameter exploration (8x8)")
+		fmt.Println("T2   Table 2: larger NoCs under node overlapping 18")
+		fmt.Println("T3   Table 3: 8x8 wiring-resource sweep")
+		fmt.Println("T4   Table 4: 10x10 wiring-resource sweep")
+		fmt.Println("T5   Table 5: PARSEC execution time")
+		fmt.Println("F9   Figure 9: generated 4x4 topology")
+		fmt.Println("F10  Figure 10: synthetic latency/throughput, 10x10")
+		fmt.Println("F11  Figure 11: PARSEC packet latency")
+		fmt.Println("F12  Figure 12: PARSEC hop count")
+		fmt.Println("F13  Figure 13: power-performance tradeoff")
+		fmt.Println("F14  Figure 14: PARSEC power")
+		fmt.Println("F15  Figure 15: area comparison")
+		fmt.Println("F16  Figure 16: synthetic scaling")
+		fmt.Println("S6.1 multi-threaded search efficacy")
+		fmt.Println("S6.7 reliability / path diversity")
+		fmt.Println("S6.8 broad applicability (3-D NoC, chiplet)")
+		fmt.Println("A    framework ablations")
+		fmt.Println("IMR  IMR GA baseline comparison")
+		return
+	}
+
+	o := exp.Options{Quick: !*full, Seed: *seed}
+	if *id == "all" {
+		for _, r := range exp.All(o) {
+			fmt.Println(r)
+		}
+		return
+	}
+	r, err := exp.ByID(*id, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+	fmt.Println(r)
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rows := append([][]string{r.Header}, r.Rows...)
+		if err := viz.CSV(f, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("rows written to %s\n", *csvPath)
+	}
+}

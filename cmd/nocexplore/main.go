@@ -1,0 +1,116 @@
+// Command nocexplore runs long-form DRL design-space searches with full
+// control over the framework's hyperparameters (ε, exploration constant,
+// threads, DNN width) and reports every valid design found — the
+// interactive counterpart of Table 1's hyperparameter study.
+//
+// Usage:
+//
+//	nocexplore -n 8 -cap 14 -episodes 200 -threads 4 -epsilon 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"routerless/internal/drl"
+	"routerless/internal/nn"
+	"routerless/internal/rec"
+	"routerless/internal/stats"
+	"routerless/internal/viz"
+)
+
+func main() {
+	n := flag.Int("n", 8, "NoC side length")
+	cap := flag.Int("cap", 0, "node overlapping cap (default 2(n-1))")
+	episodes := flag.Int("episodes", 100, "exploration cycles")
+	threads := flag.Int("threads", 1, "learner threads (§4.6)")
+	epsilon := flag.Float64("epsilon", 0.1, "ε-greedy factor")
+	cpuct := flag.Float64("c", 1.5, "MCTS exploration constant")
+	lr := flag.Float64("lr", 1e-3, "learning rate")
+	seed := flag.Int64("seed", 1, "random seed")
+	fullDNN := flag.Bool("full-dnn", false, "use the paper's full-width network")
+	noDNN := flag.Bool("no-dnn", false, "ablation: disable the DNN")
+	noMCTS := flag.Bool("no-mcts", false, "ablation: disable the search tree")
+	saveModel := flag.String("save-model", "", "write the trained policy/value model to this path")
+	loadModel := flag.String("load-model", "", "warm-start from a model saved by -save-model")
+	verbose := flag.Bool("v", false, "print every valid design")
+	flag.Parse()
+
+	overlap := *cap
+	if overlap == 0 {
+		overlap = 2 * (*n - 1)
+	}
+	cfg := drl.DefaultConfig(*n, overlap)
+	cfg.Episodes = *episodes
+	cfg.Threads = *threads
+	cfg.Epsilon = *epsilon
+	cfg.CPuct = *cpuct
+	cfg.LR = *lr
+	cfg.Seed = *seed
+	cfg.UseDNN = !*noDNN
+	cfg.UseMCTS = !*noMCTS
+	if *fullDNN {
+		cfg.NN = nn.DefaultConfig(*n)
+	}
+	if *loadModel != "" {
+		data, err := os.ReadFile(*loadModel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocexplore:", err)
+			os.Exit(1)
+		}
+		net, err := nn.UnmarshalModel(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocexplore:", err)
+			os.Exit(1)
+		}
+		cfg.NN = net.Cfg
+		cfg.InitWeights = net.GetWeights()
+	}
+
+	s, err := drl.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocexplore:", err)
+		os.Exit(1)
+	}
+	res := s.Run()
+
+	if *saveModel != "" && cfg.UseDNN {
+		net := nn.NewPolicyValueNet(cfg.NN, cfg.Seed)
+		net.SetWeights(s.ModelWeights())
+		data, err := nn.MarshalModel(net)
+		if err == nil {
+			err = os.WriteFile(*saveModel, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocexplore: save model:", err)
+		} else {
+			fmt.Printf("model saved to %s\n", *saveModel)
+		}
+	}
+
+	fmt.Printf("episodes: %d   tree states: %d   valid designs: %d\n",
+		res.Episodes, res.TreeSize, len(res.Valid))
+	if len(res.Valid) == 0 {
+		fmt.Println("no fully connected design found; increase -episodes or relax -cap")
+		os.Exit(2)
+	}
+	hops := make([]float64, len(res.Valid))
+	for i, d := range res.Valid {
+		hops[i] = d.AvgHops
+		if *verbose {
+			fmt.Printf("  episode %3d: %d loops, avg hops %.3f\n", d.Episode, d.Loops, d.AvgHops)
+		}
+	}
+	fmt.Printf("hop count: min %.3f  mean %.3f  SD %.4f\n",
+		stats.Min(hops), stats.Mean(hops), stats.StdDev(hops))
+	if recT, err := rec.Generate(*n); err == nil && overlap >= rec.MaxOverlap(*n) {
+		recHops, _ := recT.AverageHops()
+		fmt.Printf("REC reference: %.3f avg hops (%d loops) -> improvement %.1f%%\n",
+			recHops, recT.NumLoops(), 100*(recHops-res.Best.AvgHops)/recHops)
+	}
+	fmt.Println()
+	fmt.Print(viz.TopologySummary(res.Best.Topo))
+	fmt.Println("node overlapping:")
+	fmt.Print(viz.OverlapGrid(res.Best.Topo))
+}

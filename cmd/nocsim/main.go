@@ -1,0 +1,124 @@
+// Command nocsim runs the cycle-accurate simulator on a topology produced
+// by nocgen (routerless) or on a mesh baseline, sweeping injection rates
+// under a synthetic pattern or replaying a PARSEC-like application model.
+//
+// Usage:
+//
+//	nocsim -topo design.json -pattern uniform_random -rates 0.01,0.05,0.1
+//	nocsim -mesh 8 -delay 2 -pattern transpose -rates 0.02,0.04
+//	nocsim -topo design.json -app fluidanimate
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"routerless/internal/sim"
+	"routerless/internal/stats"
+	"routerless/internal/topo"
+	"routerless/internal/traffic"
+	"routerless/internal/viz"
+)
+
+func main() {
+	topoPath := flag.String("topo", "", "routerless topology JSON (from nocgen)")
+	meshN := flag.Int("mesh", 0, "simulate an NxN mesh instead of a routerless topology")
+	delay := flag.Int("delay", 2, "mesh router pipeline delay (0|1|2)")
+	pattern := flag.String("pattern", "uniform_random", "synthetic traffic pattern")
+	app := flag.String("app", "", "PARSEC-like application model (overrides -pattern)")
+	rates := flag.String("rates", "0.005,0.02,0.05,0.1", "comma-separated injection rates (flits/node/cycle)")
+	warmup := flag.Int("warmup", 2000, "warm-up cycles")
+	measure := flag.Int("measure", 10000, "measured cycles")
+	seed := flag.Int64("seed", 1, "random seed")
+	csvPath := flag.String("csv", "", "also write the sweep as CSV to this path")
+	flag.Parse()
+
+	var mk func() sim.Network
+	var rows, cols, linkBits int
+	switch {
+	case *meshN > 0:
+		rows, cols, linkBits = *meshN, *meshN, 256
+		mk = func() sim.Network { return sim.NewMesh(rows, cols, sim.MeshN(*delay)) }
+	case *topoPath != "":
+		data, err := os.ReadFile(*topoPath)
+		if err != nil {
+			fatal(err)
+		}
+		var t topo.Topology
+		if err := json.Unmarshal(data, &t); err != nil {
+			fatal(err)
+		}
+		if !t.FullyConnected() {
+			fatal(fmt.Errorf("topology %s is not fully connected", *topoPath))
+		}
+		rows, cols, linkBits = t.Rows(), t.Cols(), 128
+		mk = func() sim.Network { return sim.NewRing(&t, sim.DefaultRingConfig()) }
+	default:
+		fatal(fmt.Errorf("need -topo or -mesh"))
+	}
+
+	cfg := sim.RunConfig{WarmupCycles: *warmup, MeasureCycles: *measure, DrainCycles: 2 * *measure}
+
+	if *app != "" {
+		profile, err := traffic.ParsecProfile(*app)
+		if err != nil {
+			fatal(err)
+		}
+		src := traffic.NewAppInjector(profile, rows, cols, linkBits, *seed)
+		res := sim.Run(mk(), src, cfg)
+		fmt.Printf("app=%s %v\n", profile.Name, res)
+		return
+	}
+
+	p, err := traffic.ParsePattern(*pattern)
+	if err != nil {
+		fatal(err)
+	}
+	var points []sim.SweepPoint
+	fmt.Printf("%-10s %-10s %-12s %-10s %s\n", "rate", "latency", "throughput", "hops", "flags")
+	for _, rs := range strings.Split(*rates, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(rs), 64)
+		if err != nil {
+			fatal(err)
+		}
+		src := traffic.NewInjector(rows, cols, p, r, linkBits, *seed)
+		res := sim.Run(mk(), src, cfg)
+		points = append(points, sim.SweepPoint{Rate: r, Result: res})
+		flagStr := ""
+		if res.Saturated {
+			flagStr = "SATURATED"
+		}
+		fmt.Printf("%-10.4f %-10.2f %-12.4f %-10.2f %s\n",
+			r, res.AvgLatency, res.Throughput, res.AvgHops, flagStr)
+	}
+	curve := sim.Curve(points)
+	fmt.Printf("zero-load latency: %.2f cycles; saturation throughput: %.4f flits/node/cycle\n",
+		stats.ZeroLoadLatency(curve), stats.SaturationThroughput(curve, 3))
+
+	if *csvPath != "" {
+		var rs, ls, ts []float64
+		for _, p := range curve {
+			rs = append(rs, p.InjectionRate)
+			ls = append(ls, p.Latency)
+			ts = append(ts, p.Throughput)
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := viz.CurveCSV(f, rs, ls, ts); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sweep written to %s\n", *csvPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocsim:", err)
+	os.Exit(1)
+}

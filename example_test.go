@@ -1,0 +1,51 @@
+package routerless_test
+
+import (
+	"fmt"
+
+	"routerless"
+)
+
+// ExampleGenerateREC builds the deterministic REC baseline and reports its
+// published invariants.
+func ExampleGenerateREC() {
+	t, err := routerless.GenerateREC(4)
+	if err != nil {
+		panic(err)
+	}
+	hops, _ := t.AverageHops()
+	fmt.Printf("loops=%d maxOverlap=%d connected=%v avgHops=%.3f\n",
+		t.NumLoops(), t.MaxOverlap(), t.FullyConnected(), hops)
+	// Output:
+	// loops=10 maxOverlap=6 connected=true avgHops=3.017
+}
+
+// ExampleMeshAverageHops shows the reward reference the DRL environment
+// compares designs against.
+func ExampleMeshAverageHops() {
+	fmt.Printf("%.3f\n", routerless.MeshAverageHops(8))
+	// Output:
+	// 5.333
+}
+
+// ExampleGenerateGreedy runs Algorithm 1 to completion under a wiring cap.
+func ExampleGenerateGreedy() {
+	t := routerless.GenerateGreedy(4, 6)
+	fmt.Printf("connected=%v capRespected=%v\n",
+		t.FullyConnected(), t.MaxOverlap() <= 6)
+	// Output:
+	// connected=true capRespected=true
+}
+
+// ExampleSimulate runs one cycle-accurate measurement on the REC baseline.
+func ExampleSimulate() {
+	t, _ := routerless.GenerateREC(4)
+	res := routerless.Simulate(t, routerless.SimulateOptions{
+		Pattern: routerless.Transpose, Rate: 0.05,
+		WarmupCycles: 200, MeasureCycles: 2000, Seed: 1,
+	})
+	fmt.Printf("delivered=%v latencyBounded=%v\n",
+		res.PacketsDone == res.PacketsSent, res.AvgLatency > 2 && res.AvgLatency < 30)
+	// Output:
+	// delivered=true latencyBounded=true
+}

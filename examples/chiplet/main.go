@@ -1,0 +1,41 @@
+// Chiplet demonstrates the framework's second broad-applicability target
+// (§6.8): exploring interposer link placement for a multi-chiplet package
+// so that inter-chiplet traffic takes few hops, under µbump-port and
+// link-budget constraints.
+package main
+
+import (
+	"fmt"
+
+	"routerless/internal/chiplet"
+	"routerless/internal/search"
+)
+
+func main() {
+	sys := chiplet.System{
+		ChipletsX: 2, ChipletsY: 2, M: 3,
+		BumpPorts: 2, LinkBudget: 8,
+	}
+
+	cfg := search.DefaultConfig()
+	cfg.Episodes = 20
+	cfg.Epsilon = 0.35
+	cfg.MaxSteps = 48
+	cfg.Seed = 5
+
+	best, res := chiplet.Explore(sys, cfg)
+	fmt.Printf("package: %dx%d chiplets of %dx%d cores, %d interposer links allowed\n",
+		sys.ChipletsX, sys.ChipletsY, sys.M, sys.M, sys.LinkBudget)
+	if best == nil {
+		fmt.Println("no design found")
+		return
+	}
+	fmt.Printf("connected: %v; avg inter-chiplet hops: %.3f (%d episodes, %d tree states)\n",
+		best.Connected(), best.AvgInterChipletHops(1000), len(res.Outcomes), res.TreeSize)
+	fmt.Println("interposer links:")
+	for _, l := range best.Links() {
+		a, b := sys.CoreFromID(l[0]), sys.CoreFromID(l[1])
+		fmt.Printf("  chiplet(%d,%d) core(%d,%d) <-> chiplet(%d,%d) core(%d,%d)\n",
+			a.CX, a.CY, a.X, a.Y, b.CX, b.CY, b.X, b.Y)
+	}
+}

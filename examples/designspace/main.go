@@ -1,0 +1,46 @@
+// Designspace sweeps the power-performance tradeoff of Figure 13: DRL
+// designs for an 8x8 NoC across node-overlapping caps, reporting average
+// hop count, simulated latency and modelled power per design point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"routerless"
+)
+
+func main() {
+	fmt.Println("8x8 routerless design space: wiring budget vs performance vs power")
+	fmt.Printf("%-6s %-10s %-10s %-12s %-10s\n", "cap", "loops", "avg hops", "latency", "power(mW)")
+
+	params := routerless.DefaultPowerParams()
+	for _, cap := range []int{10, 12, 14, 16} {
+		design, err := routerless.Explore(routerless.ExploreOptions{
+			N: 8, OverlapCap: cap, Episodes: 8, Seed: 11,
+		})
+		if err != nil {
+			log.Printf("cap %d: %v", cap, err)
+			continue
+		}
+		res := routerless.Simulate(design.Topology, routerless.SimulateOptions{
+			Pattern: routerless.UniformRandom, Rate: 0.05,
+			MeasureCycles: 5000, Seed: 2,
+		})
+		pow := params.Routerless(cap, routerless.ActivityOf(res))
+		fmt.Printf("%-6d %-10d %-10.3f %-12.2f %-10.3f\n",
+			cap, design.Loops, design.AvgHops, res.AvgLatency, pow.Total())
+	}
+
+	recT, err := routerless.GenerateREC(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recHops, _ := recT.AverageHops()
+	res := routerless.Simulate(recT, routerless.SimulateOptions{
+		Pattern: routerless.UniformRandom, Rate: 0.05, MeasureCycles: 5000, Seed: 2,
+	})
+	pow := params.Routerless(14, routerless.ActivityOf(res))
+	fmt.Printf("%-6s %-10d %-10.3f %-12.2f %-10.3f   <- REC (only possible at cap 14)\n",
+		"REC", recT.NumLoops(), recHops, res.AvgLatency, pow.Total())
+}

@@ -1,0 +1,48 @@
+// Parsec runs the Synfull-style PARSEC application models on an 8x8 NoC
+// across Mesh-2, REC and DRL, reporting per-benchmark packet latency, hop
+// count and modelled execution time — the library-level version of the
+// paper's Figures 11-12 and Table 5.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"routerless"
+	"routerless/internal/sim"
+	"routerless/internal/traffic"
+)
+
+func main() {
+	const n = 8
+	recT, err := routerless.GenerateREC(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	design, err := routerless.Explore(routerless.ExploreOptions{
+		N: n, OverlapCap: 14, Episodes: 10, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := sim.RunConfig{WarmupCycles: 1000, MeasureCycles: 8000, DrainCycles: 16000}
+	fmt.Printf("%-14s %-22s %-22s %-22s\n", "workload", "Mesh-2 lat/hops/ms", "REC lat/hops/ms", "DRL lat/hops/ms")
+	for _, prof := range traffic.Parsec() {
+		mesh := sim.Run(sim.NewMesh(n, n, sim.MeshN(2)),
+			traffic.NewAppInjector(prof, n, n, 256, 1), cfg)
+		rec := sim.Run(sim.NewRing(recT, sim.DefaultRingConfig()),
+			traffic.NewAppInjector(prof, n, n, 128, 1), cfg)
+		drl := sim.Run(sim.NewRing(design.Topology, sim.DefaultRingConfig()),
+			traffic.NewAppInjector(prof, n, n, 128, 1), cfg)
+		ideal := drl.AvgLatency
+		if rec.AvgLatency < ideal {
+			ideal = rec.AvgLatency
+		}
+		cell := func(r sim.Result) string {
+			return fmt.Sprintf("%.1f/%.2f/%.1f", r.AvgLatency, r.AvgHops,
+				prof.ExecutionTimeMS(r.AvgLatency, ideal))
+		}
+		fmt.Printf("%-14s %-22s %-22s %-22s\n", prof.Name, cell(mesh), cell(rec), cell(drl))
+	}
+}

@@ -1,0 +1,62 @@
+// Scaling reproduces the Figure 16 study as a library example: uniform
+// random load-latency curves for REC vs DRL vs mesh as the NoC grows,
+// with saturation throughput per size and the 4x4 -> 10x10 drop.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"routerless"
+)
+
+func main() {
+	rates := []float64{0.005, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35}
+	sizes := []int{4, 6, 8}
+
+	fmt.Printf("%-6s %-12s %-12s %-12s\n", "size", "mesh-2 sat", "REC sat", "DRL sat")
+	var recSat, drlSat []float64
+	for _, n := range sizes {
+		recT, err := routerless.GenerateREC(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		design, err := routerless.Explore(routerless.ExploreOptions{
+			N: n, OverlapCap: 2 * (n - 1), Episodes: 8, Seed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sweep := routerless.SweepOptions{
+			Pattern: routerless.UniformRandom, Rates: rates,
+			MeasureCycles: 4000, Seed: 3,
+		}
+		recSatN := routerless.SaturationThroughput(routerless.SweepLatency(recT, sweep))
+		drlSatN := routerless.SaturationThroughput(routerless.SweepLatency(design.Topology, sweep))
+
+		var meshPts []routerless.CurvePoint
+		for _, r := range rates {
+			res := routerless.SimulateMesh(n, 2, routerless.SimulateOptions{
+				Pattern: routerless.UniformRandom, Rate: r, MeasureCycles: 4000, Seed: 3,
+			})
+			meshPts = append(meshPts, routerless.CurvePoint{
+				InjectionRate: r, Latency: res.AvgLatency, Throughput: res.Throughput,
+			})
+			if res.Saturated {
+				break
+			}
+		}
+		meshSat := routerless.SaturationThroughput(meshPts)
+
+		fmt.Printf("%-6d %-12.3f %-12.3f %-12.3f\n", n, meshSat, recSatN, drlSatN)
+		recSat = append(recSat, recSatN)
+		drlSat = append(drlSat, drlSatN)
+	}
+
+	last := len(sizes) - 1
+	fmt.Printf("\nthroughput drop %dx%d -> %dx%d: REC %.1f%%, DRL %.1f%%\n",
+		sizes[0], sizes[0], sizes[last], sizes[last],
+		100*(recSat[0]-recSat[last])/recSat[0],
+		100*(drlSat[0]-drlSat[last])/drlSat[0])
+	fmt.Println("(paper, 4x4 -> 10x10: REC -31.6%, DRL -4.7%)")
+}

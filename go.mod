@@ -1,0 +1,3 @@
+module routerless
+
+go 1.22

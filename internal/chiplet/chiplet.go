@@ -1,0 +1,343 @@
+// Package chiplet is the second broad-applicability instantiation (§6.8):
+// the paper suggests using the framework to "improve the latency and
+// throughput of chiplet networks by exploring novel interconnect
+// structures" over silicon interposers. The model here: several chiplets,
+// each an internal mesh, sit on an interposer; every node can reach its
+// chiplet's boundary bumps, and the exploration places a budget of
+// interposer links between boundary bumps of different chiplets to
+// minimize the average inter-chiplet hop count.
+package chiplet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"routerless/internal/search"
+)
+
+// System describes the package geometry: a ChipletsX×ChipletsY grid of
+// chiplets, each an M×M mesh of cores.
+type System struct {
+	ChipletsX, ChipletsY int
+	M                    int // cores per chiplet side
+	// BumpPorts caps interposer links per boundary core; LinkBudget caps
+	// total interposer links.
+	BumpPorts  int
+	LinkBudget int
+}
+
+// DefaultSystem returns a 2×2 four-chiplet package of 3×3 meshes.
+func DefaultSystem() System {
+	return System{ChipletsX: 2, ChipletsY: 2, M: 3, BumpPorts: 2, LinkBudget: 6}
+}
+
+// Cores returns the total core count.
+func (s System) Cores() int { return s.ChipletsX * s.ChipletsY * s.M * s.M }
+
+// Core identifies one core by chiplet and local position.
+type Core struct {
+	CX, CY int // chiplet coordinates
+	X, Y   int // local mesh coordinates
+}
+
+// ID linearizes a core.
+func (s System) ID(c Core) int {
+	chip := c.CY*s.ChipletsX + c.CX
+	return chip*s.M*s.M + c.Y*s.M + c.X
+}
+
+// CoreFromID inverts ID.
+func (s System) CoreFromID(id int) Core {
+	per := s.M * s.M
+	chip := id / per
+	local := id % per
+	return Core{
+		CX: chip % s.ChipletsX, CY: chip / s.ChipletsX,
+		X: local % s.M, Y: local / s.M,
+	}
+}
+
+// Boundary reports whether the core sits on its chiplet's edge (and can
+// host a µbump to the interposer).
+func (s System) Boundary(c Core) bool {
+	return c.X == 0 || c.Y == 0 || c.X == s.M-1 || c.Y == s.M-1
+}
+
+// Design is a chiplet system plus placed interposer links.
+type Design struct {
+	Sys   System
+	adj   [][]int
+	bumps []int
+	links [][2]int
+	dirty bool
+	dist  [][]int16
+}
+
+// NewDesign builds the base system: chiplet-internal meshes only, so
+// inter-chiplet pairs start unreachable until interposer links exist.
+func NewDesign(sys System) *Design {
+	v := sys.Cores()
+	d := &Design{
+		Sys:   sys,
+		adj:   make([][]int, v),
+		bumps: make([]int, v),
+		dirty: true,
+	}
+	for id := 0; id < v; id++ {
+		c := sys.CoreFromID(id)
+		for _, nb := range []Core{
+			{c.CX, c.CY, c.X + 1, c.Y}, {c.CX, c.CY, c.X - 1, c.Y},
+			{c.CX, c.CY, c.X, c.Y + 1}, {c.CX, c.CY, c.X, c.Y - 1},
+		} {
+			if nb.X < 0 || nb.X >= sys.M || nb.Y < 0 || nb.Y >= sys.M {
+				continue
+			}
+			d.adj[id] = append(d.adj[id], sys.ID(nb))
+		}
+	}
+	return d
+}
+
+// Links returns the placed interposer links.
+func (d *Design) Links() [][2]int { return d.links }
+
+// Clone deep-copies the design.
+func (d *Design) Clone() *Design {
+	c := &Design{
+		Sys:   d.Sys,
+		adj:   make([][]int, len(d.adj)),
+		bumps: append([]int(nil), d.bumps...),
+		links: append([][2]int(nil), d.links...),
+		dirty: true,
+	}
+	for i, a := range d.adj {
+		c.adj[i] = append([]int(nil), a...)
+	}
+	return c
+}
+
+// CanAdd validates an interposer link between two cores.
+func (d *Design) CanAdd(a, b int) error {
+	if a == b {
+		return fmt.Errorf("chiplet: self link")
+	}
+	if len(d.links) >= d.Sys.LinkBudget {
+		return fmt.Errorf("chiplet: link budget exhausted")
+	}
+	ca, cb := d.Sys.CoreFromID(a), d.Sys.CoreFromID(b)
+	if ca.CX == cb.CX && ca.CY == cb.CY {
+		return fmt.Errorf("chiplet: interposer links join different chiplets")
+	}
+	if !d.Sys.Boundary(ca) || !d.Sys.Boundary(cb) {
+		return fmt.Errorf("chiplet: links attach at boundary bumps only")
+	}
+	if d.bumps[a] >= d.Sys.BumpPorts || d.bumps[b] >= d.Sys.BumpPorts {
+		return fmt.Errorf("chiplet: bump port cap reached")
+	}
+	for _, nb := range d.adj[a] {
+		if nb == b {
+			return fmt.Errorf("chiplet: link exists")
+		}
+	}
+	return nil
+}
+
+// AddLink places an interposer link.
+func (d *Design) AddLink(a, b int) error {
+	if err := d.CanAdd(a, b); err != nil {
+		return err
+	}
+	d.adj[a] = append(d.adj[a], b)
+	d.adj[b] = append(d.adj[b], a)
+	d.bumps[a]++
+	d.bumps[b]++
+	if a > b {
+		a, b = b, a
+	}
+	d.links = append(d.links, [2]int{a, b})
+	d.dirty = true
+	return nil
+}
+
+func (d *Design) distances() [][]int16 {
+	if !d.dirty {
+		return d.dist
+	}
+	v := d.Sys.Cores()
+	dist := make([][]int16, v)
+	queue := make([]int, 0, v)
+	for s := 0; s < v; s++ {
+		row := make([]int16, v)
+		for i := range row {
+			row[i] = -1
+		}
+		row[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, nb := range d.adj[u] {
+				if row[nb] < 0 {
+					row[nb] = row[u] + 1
+					queue = append(queue, nb)
+				}
+			}
+		}
+		dist[s] = row
+	}
+	d.dist = dist
+	d.dirty = false
+	return dist
+}
+
+// Connected reports whether every core pair is reachable.
+func (d *Design) Connected() bool {
+	dist := d.distances()
+	for s := range dist {
+		for _, h := range dist[s] {
+			if h < 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AvgInterChipletHops returns the mean hop count over reachable
+// inter-chiplet core pairs; unreachable pairs are charged penalty hops.
+func (d *Design) AvgInterChipletHops(penalty float64) float64 {
+	dist := d.distances()
+	total := 0.0
+	pairs := 0
+	for s := range dist {
+		cs := d.Sys.CoreFromID(s)
+		for t, h := range dist[s] {
+			if s == t {
+				continue
+			}
+			ct := d.Sys.CoreFromID(t)
+			if cs.CX == ct.CX && cs.CY == ct.CY {
+				continue
+			}
+			pairs++
+			if h < 0 {
+				total += penalty
+			} else {
+				total += float64(h)
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return total / float64(pairs)
+}
+
+// ---------------------------------------------------------------------------
+// search.Problem instantiation
+
+type env struct{ d *Design }
+
+func (e *env) Fingerprint() string {
+	keys := make([]string, len(e.d.links))
+	for i, l := range e.d.links {
+		keys[i] = fmt.Sprintf("%d-%d", l[0], l[1])
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+func (e *env) Actions() []string {
+	var out []string
+	v := e.d.Sys.Cores()
+	for a := 0; a < v; a++ {
+		for b := a + 1; b < v; b++ {
+			if e.d.CanAdd(a, b) == nil {
+				out = append(out, fmt.Sprintf("%d-%d", a, b))
+			}
+		}
+	}
+	return out
+}
+
+func (e *env) Step(action string) float64 {
+	var a, b int
+	fmt.Sscanf(action, "%d-%d", &a, &b)
+	if err := e.d.AddLink(a, b); err != nil {
+		return -1
+	}
+	return 0
+}
+
+func (e *env) Done() bool { return len(e.d.links) >= e.d.Sys.LinkBudget }
+
+func (e *env) FinalReward() float64 {
+	penalty := float64(4 * e.d.Sys.Cores())
+	return -e.d.AvgInterChipletHops(penalty)
+}
+
+// Problem adapts the system to the generic searcher.
+type Problem struct{ Sys System }
+
+// NewEpisode implements search.Problem.
+func (p Problem) NewEpisode() search.Environment { return &env{d: NewDesign(p.Sys)} }
+
+// Greedy implements search.Problem: join the chiplet pair whose cores are
+// currently farthest apart (or disconnected).
+func (p Problem) Greedy(se search.Environment) (string, bool) {
+	e := se.(*env)
+	dist := e.d.distances()
+	v := e.d.Sys.Cores()
+	bestA, bestB := -1, -1
+	bestScore := -1
+	for a := 0; a < v; a++ {
+		for b := a + 1; b < v; b++ {
+			if e.d.CanAdd(a, b) != nil {
+				continue
+			}
+			score := int(dist[a][b])
+			if score < 0 {
+				score = 4 * v // disconnected: highest priority
+			}
+			if score > bestScore {
+				bestScore = score
+				bestA, bestB = a, b
+			}
+		}
+	}
+	if bestA < 0 {
+		return "", false
+	}
+	return fmt.Sprintf("%d-%d", bestA, bestB), true
+}
+
+// Priors implements search.Problem: weight candidate links by current
+// separation, favouring links that bridge disconnected or distant pairs.
+func (p Problem) Priors(se search.Environment, actions []string) []float64 {
+	e := se.(*env)
+	dist := e.d.distances()
+	out := make([]float64, len(actions))
+	for i, s := range actions {
+		var a, b int
+		fmt.Sscanf(s, "%d-%d", &a, &b)
+		h := float64(dist[a][b])
+		if h < 0 {
+			h = float64(4 * e.d.Sys.Cores())
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// Explore runs the searcher and returns the best design.
+func Explore(sys System, cfg search.Config) (*Design, *search.Result) {
+	prob := Problem{Sys: sys}
+	s := search.New(cfg, prob)
+	var best *Design
+	s.OnBest(func(se search.Environment, _ search.Outcome) {
+		best = se.(*env).d.Clone()
+	})
+	res := s.Run()
+	return best, res
+}

@@ -1,0 +1,120 @@
+package chiplet
+
+import (
+	"testing"
+
+	"routerless/internal/search"
+)
+
+func TestCoreIDRoundTrip(t *testing.T) {
+	sys := DefaultSystem()
+	for id := 0; id < sys.Cores(); id++ {
+		if got := sys.ID(sys.CoreFromID(id)); got != id {
+			t.Fatalf("id %d round-trips to %d", id, got)
+		}
+	}
+}
+
+func TestBaseSystemDisconnected(t *testing.T) {
+	d := NewDesign(DefaultSystem())
+	if d.Connected() {
+		t.Fatal("chiplets connected without interposer links")
+	}
+	// Intra-chiplet routing works.
+	sys := d.Sys
+	a := sys.ID(Core{CX: 0, CY: 0, X: 0, Y: 0})
+	b := sys.ID(Core{CX: 0, CY: 0, X: 2, Y: 2})
+	if d.distances()[a][b] != 4 {
+		t.Fatalf("intra-chiplet distance = %d, want 4", d.distances()[a][b])
+	}
+}
+
+func TestCanAddRules(t *testing.T) {
+	sys := DefaultSystem()
+	d := NewDesign(sys)
+	interior := sys.ID(Core{CX: 0, CY: 0, X: 1, Y: 1})
+	edgeA := sys.ID(Core{CX: 0, CY: 0, X: 2, Y: 1})
+	edgeB := sys.ID(Core{CX: 1, CY: 0, X: 0, Y: 1})
+	sameChip := sys.ID(Core{CX: 0, CY: 0, X: 0, Y: 1})
+
+	if err := d.AddLink(interior, edgeB); err == nil {
+		t.Fatal("interior core accepted as bump")
+	}
+	if err := d.AddLink(edgeA, sameChip); err == nil {
+		t.Fatal("same-chiplet interposer link accepted")
+	}
+	if err := d.AddLink(edgeA, edgeB); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddLink(edgeA, edgeB); err == nil {
+		t.Fatal("duplicate link accepted")
+	}
+}
+
+func TestBumpPortCap(t *testing.T) {
+	sys := DefaultSystem()
+	sys.BumpPorts = 1
+	d := NewDesign(sys)
+	a := sys.ID(Core{CX: 0, CY: 0, X: 2, Y: 1})
+	b := sys.ID(Core{CX: 1, CY: 0, X: 0, Y: 1})
+	c := sys.ID(Core{CX: 1, CY: 0, X: 0, Y: 2})
+	if err := d.AddLink(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddLink(a, c); err == nil {
+		t.Fatal("bump cap not enforced")
+	}
+}
+
+func TestLinkBudget(t *testing.T) {
+	sys := DefaultSystem()
+	sys.LinkBudget = 1
+	d := NewDesign(sys)
+	a := sys.ID(Core{CX: 0, CY: 0, X: 2, Y: 1})
+	b := sys.ID(Core{CX: 1, CY: 0, X: 0, Y: 1})
+	if err := d.AddLink(a, b); err != nil {
+		t.Fatal(err)
+	}
+	c := sys.ID(Core{CX: 0, CY: 0, X: 2, Y: 2})
+	e := sys.ID(Core{CX: 1, CY: 0, X: 0, Y: 2})
+	if err := d.AddLink(c, e); err == nil {
+		t.Fatal("budget not enforced")
+	}
+}
+
+func TestExploreConnectsPackage(t *testing.T) {
+	cfg := search.DefaultConfig()
+	cfg.Episodes = 10
+	cfg.Epsilon = 0.4
+	cfg.MaxSteps = 32
+	cfg.Seed = 2
+	best, res := Explore(DefaultSystem(), cfg)
+	if best == nil {
+		t.Fatal("no design found")
+	}
+	if !best.Connected() {
+		t.Fatal("best design leaves chiplets unreachable")
+	}
+	if len(best.Links()) > DefaultSystem().LinkBudget {
+		t.Fatalf("budget exceeded: %d links", len(best.Links()))
+	}
+	if res.Best.Final >= 0 {
+		t.Fatalf("reward should be negative avg hops, got %v", res.Best.Final)
+	}
+	avg := best.AvgInterChipletHops(1000)
+	if avg <= 0 || avg > 12 {
+		t.Fatalf("implausible inter-chiplet hops %v", avg)
+	}
+}
+
+func TestGreedyBridgesDisconnectedFirst(t *testing.T) {
+	prob := Problem{Sys: DefaultSystem()}
+	e := prob.NewEpisode()
+	a, ok := prob.Greedy(e)
+	if !ok {
+		t.Fatal("no greedy action on blank package")
+	}
+	if e.Step(a) != 0 {
+		t.Fatal("greedy proposed an illegal link")
+	}
+}

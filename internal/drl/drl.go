@@ -1,0 +1,471 @@
+// Package drl is the paper's core contribution: the deep-reinforcement-
+// learning design-space exploration framework (§4). Each exploration cycle
+// starts from a blank routerless NoC; a deep two-headed policy/value
+// network proposes an initial loop, a Monte Carlo tree search guides the
+// following additions (with an ε-greedy override running Algorithm 1),
+// rewards penalize repetitive/invalid/illegal loops, and the finished
+// design's hop count relative to mesh trains both the network (advantage
+// actor-critic) and the tree. Multi-threaded exploration (§4.6) shares a
+// parameter server and the search tree across learner goroutines.
+package drl
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"routerless/internal/mcts"
+	"routerless/internal/nn"
+	"routerless/internal/rl"
+	"routerless/internal/topo"
+)
+
+// Config parameterizes a search.
+type Config struct {
+	// N is the NoC side; OverlapCap the wiring constraint (>0).
+	N, OverlapCap int
+	// Episodes is the total number of exploration cycles across all
+	// threads; Threads the learner goroutine count (§4.6).
+	Episodes, Threads int
+	// Epsilon is the ε-greedy probability of deferring to Algorithm 1
+	// (Table 1 explores 0.05–0.3).
+	Epsilon float64
+	// CPuct is the exploration constant c of Eq. 22.
+	CPuct float64
+	// UseDNN and UseMCTS toggle the framework's two halves; disabling
+	// one yields the ablation baselines of EXPERIMENTS.md.
+	UseDNN, UseMCTS bool
+	// NN sizes the policy/value network; a zero value selects a
+	// reduced-width network appropriate for the overall budget.
+	NN nn.Config
+	// LR/GradClip/Gamma drive actor-critic training (Eqs. 17–20).
+	LR, GradClip, Gamma float64
+	// MaxPenalties bounds consecutive non-valid actions before the
+	// episode falls back to the greedy action.
+	MaxPenalties int
+	// GuidedActions is the number of valid loop additions chosen by the
+	// DNN/MCTS policy before the episode switches to Algorithm 1 to
+	// complete the design (Fig. 4: "additional actions can be taken, if
+	// necessary, to complete the design"). The guided prefix defines the
+	// design-space region being explored; completion makes the design
+	// evaluable. The per-worker value self-paces between 1 and this cap:
+	// episodes that dead-end shorten it, successes restore it. Zero means
+	// pure greedy completion with no guided exploration.
+	GuidedActions int
+	// MinGain/NoGainStreak end an episode early once the design is fully
+	// connected and successive additions stop improving average hops,
+	// trimming useless loop additions (§3.2).
+	MinGain      float64
+	NoGainStreak int
+	// IllegalPenalty overrides the environment's −5N illegal-action
+	// reward when nonzero (the reward-shaping ablation).
+	IllegalPenalty float64
+	// MaxLoopLen, when > 0, restricts loop perimeters — the additional
+	// design constraint of §6.2.
+	MaxLoopLen int
+	// Seed makes single-threaded runs fully deterministic.
+	Seed int64
+	// InitWeights, when non-nil, warm-starts the policy/value network
+	// (e.g. from a model saved by a previous search).
+	InitWeights []float64
+}
+
+// DefaultConfig returns a balanced configuration for an n×n search under
+// the given overlap cap.
+func DefaultConfig(n, overlapCap int) Config {
+	return Config{
+		N: n, OverlapCap: overlapCap,
+		Episodes: 30, Threads: 1,
+		Epsilon: 0.1, CPuct: 1.5,
+		UseDNN: true, UseMCTS: true,
+		NN: nn.Config{N: n, BaseChannels: 4, Pools: 3},
+		LR: 1e-3, GradClip: 1.0, Gamma: 0.99,
+		MaxPenalties:  8,
+		GuidedActions: max(2, n/2),
+		MinGain:       1e-9, NoGainStreak: 2,
+		Seed: 1,
+	}
+}
+
+// Design is one fully connected design discovered during search.
+type Design struct {
+	Topo    *topo.Topology
+	AvgHops float64
+	Loops   int
+	Episode int
+}
+
+// Result summarizes a search.
+type Result struct {
+	// Best is the minimum-hop fully connected design (nil Topo when the
+	// search never completed a design).
+	Best Design
+	// Valid lists every fully connected design, in discovery order.
+	Valid []Design
+	// Episodes actually run.
+	Episodes int
+	// ValueMSE per episode (training-progress signal; empty without DNN).
+	ValueMSE []float64
+	// TreeSize is the number of distinct designs recorded by the MCTS.
+	TreeSize int
+}
+
+// Searcher runs the framework.
+type Searcher struct {
+	cfg  Config
+	tree *mcts.Tree
+
+	server *paramServer
+
+	mu      sync.Mutex
+	result  Result
+	episode int
+}
+
+// New validates the configuration and builds a searcher.
+func New(cfg Config) (*Searcher, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("drl: NoC size %d too small", cfg.N)
+	}
+	if cfg.OverlapCap < 1 {
+		return nil, fmt.Errorf("drl: search requires a node overlapping cap (got %d)", cfg.OverlapCap)
+	}
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.Episodes < 1 {
+		cfg.Episodes = 1
+	}
+	if cfg.NN.N == 0 {
+		cfg.NN = nn.Config{N: cfg.N, BaseChannels: 4, Pools: 3}
+	}
+	if cfg.NN.N != cfg.N {
+		return nil, fmt.Errorf("drl: NN config N=%d mismatches NoC N=%d", cfg.NN.N, cfg.N)
+	}
+	s := &Searcher{cfg: cfg, tree: mcts.NewTree(cfg.CPuct)}
+	if cfg.UseDNN {
+		master := nn.NewPolicyValueNet(cfg.NN, cfg.Seed)
+		init := cfg.InitWeights
+		if init == nil {
+			init = master.GetWeights()
+		} else if len(init) != master.NumParams() {
+			return nil, fmt.Errorf("drl: InitWeights has %d values, network needs %d",
+				len(init), master.NumParams())
+		}
+		s.server = newParamServer(init, cfg.LR, cfg.GradClip)
+	}
+	return s, nil
+}
+
+// ModelWeights returns the parameter server's current weights (nil when
+// the search runs without a DNN); save them with nn.MarshalModel via a
+// network constructed from the same nn.Config to resume training later.
+func (s *Searcher) ModelWeights() []float64 {
+	if s.server == nil {
+		return nil
+	}
+	return s.server.snapshot()
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Searcher {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Run executes the configured exploration cycles and returns the search
+// result. With Threads == 1 the run is deterministic in Seed.
+func (s *Searcher) Run() *Result {
+	var wg sync.WaitGroup
+	perThread := s.cfg.Episodes / s.cfg.Threads
+	extra := s.cfg.Episodes % s.cfg.Threads
+	for t := 0; t < s.cfg.Threads; t++ {
+		n := perThread
+		if t < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(tid, episodes int) {
+			defer wg.Done()
+			s.worker(tid, episodes)
+		}(t, n)
+	}
+	wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.result.TreeSize = s.tree.Size()
+	out := s.result
+	return &out
+}
+
+// worker is one learner thread (§4.6): it keeps a private copy of the DNN,
+// refreshes weights from the parameter server before each episode, and
+// pushes gradients back after each episode.
+func (s *Searcher) worker(tid, episodes int) {
+	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(tid)*7919))
+	var net *nn.PolicyValueNet
+	if s.cfg.UseDNN {
+		net = nn.NewPolicyValueNet(s.cfg.NN, s.cfg.Seed+int64(tid))
+		net.SetWeights(s.server.snapshot())
+	}
+	a2c := rl.A2C{Gamma: s.cfg.Gamma, ValueCoeff: 0.5}
+	// The guided-phase length self-paces: episodes that dead-end without
+	// a complete design shorten the guided prefix (exploring closer to
+	// the reliable completion heuristic); successes lengthen it back up
+	// to the configured value, recovering exploration breadth.
+	guided := s.cfg.GuidedActions
+	for ep := 0; ep < episodes; ep++ {
+		traj, path, design := s.runEpisode(net, rng, guided)
+		if design == nil {
+			if guided > 1 {
+				guided--
+			}
+		} else if guided < s.cfg.GuidedActions {
+			guided++
+		}
+
+		// Backup through the tree with discounted returns-to-go.
+		returns := make([]float64, len(traj.Steps))
+		g := traj.Final
+		for i := len(traj.Steps) - 1; i >= 0; i-- {
+			g = traj.Steps[i].Reward + s.cfg.Gamma*g
+			returns[i] = g
+		}
+		if s.cfg.UseMCTS {
+			s.tree.Backup(path, returns)
+		}
+
+		mse := 0.0
+		if net != nil {
+			net.ZeroGrads()
+			mse = a2c.Accumulate(net, traj)
+			s.server.apply(net.GetGrads())
+			net.ZeroGrads()
+			net.SetWeights(s.server.snapshot())
+		}
+
+		s.mu.Lock()
+		s.episode++
+		epNum := s.episode
+		s.result.Episodes = epNum
+		if net != nil {
+			s.result.ValueMSE = append(s.result.ValueMSE, mse)
+		}
+		if design != nil {
+			design.Episode = epNum
+			s.result.Valid = append(s.result.Valid, *design)
+			if s.result.Best.Topo == nil || design.AvgHops < s.result.Best.AvgHops {
+				s.result.Best = *design
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// runEpisode performs one exploration cycle (Fig. 4) and returns the
+// trajectory of guided steps, the tree path, and the finished design when
+// fully connected.
+//
+// Each episode has two phases. The guided phase takes up to GuidedActions
+// valid loop additions chosen by the DNN/MCTS policy (ε-greedy over
+// Algorithm 1); it is the exploratory part that gets trained and backed
+// up. The completion phase then adds loops with Algorithm 1 until the
+// design cannot improve, making the episode's design evaluable ("additional
+// actions ... to complete the design"). The final return reflects the
+// whole design, so guided prefixes leading to poor completions are
+// penalized through training.
+func (s *Searcher) runEpisode(net *nn.PolicyValueNet, rng *rand.Rand, guided int) (rl.Trajectory, []mcts.PathStep, *Design) {
+	env := rl.NewEnv(s.cfg.N, s.cfg.OverlapCap)
+	if s.cfg.IllegalPenalty != 0 {
+		env.IllegalPenalty = s.cfg.IllegalPenalty
+	}
+	env.MaxLoopLen = s.cfg.MaxLoopLen
+	var traj rl.Trajectory
+	var path []mcts.PathStep
+
+	maxSteps := guided + s.cfg.MaxPenalties*(guided+1) + 4
+	penalties := 0
+	valid := 0
+	first := true
+	for len(traj.Steps) < maxSteps && valid < guided {
+		fp := env.Fingerprint()
+		var a rl.Action
+		var ok bool
+		switch {
+		case penalties > s.cfg.MaxPenalties:
+			a, ok = rl.Greedy(env)
+		case first && net != nil:
+			// The DNN proposes the initial action raw (Fig. 4); it may
+			// be penalized, teaching constraint compliance.
+			a, ok = sampleRaw(net, env, rng), true
+		default:
+			a, ok = s.chooseAction(net, env, fp, rng)
+		}
+		first = false
+		if !ok {
+			break // no legal action remains
+		}
+		state := env.State()
+		r, kind := env.Step(a)
+		traj.Steps = append(traj.Steps, rl.StepRecord{State: state, Action: a, Reward: r})
+		path = append(path, mcts.PathStep{Fingerprint: fp, Action: a})
+		if kind == rl.Valid {
+			penalties = 0
+			valid++
+		} else {
+			penalties++
+		}
+	}
+
+	s.complete(env)
+
+	traj.Final = env.FinalReward()
+	var design *Design
+	if env.FullyConnected() {
+		design = &Design{
+			Topo:    env.Topology().Clone(),
+			AvgHops: env.AverageHops(),
+			Loops:   env.Topology().NumLoops(),
+		}
+	}
+	return traj, path, design
+}
+
+// complete drives Algorithm 1 until the design stops improving: while not
+// fully connected every greedy addition helps; afterwards additions
+// continue only while they reduce average hops (MinGain/NoGainStreak).
+func (s *Searcher) complete(env *rl.Env) {
+	rl.GreedyImprove(env, s.cfg.MinGain, s.cfg.NoGainStreak)
+}
+
+// chooseAction picks the next loop per the framework: ε-greedy Algorithm 1,
+// otherwise tree selection at known states (Eq. 21), otherwise
+// expansion+evaluation at leaves with DNN priors.
+func (s *Searcher) chooseAction(net *nn.PolicyValueNet, env *rl.Env, fp string, rng *rand.Rand) (rl.Action, bool) {
+	if rng.Float64() < s.cfg.Epsilon {
+		if a, ok := rl.Greedy(env); ok {
+			return a, true
+		}
+		return rl.Action{}, false
+	}
+	if s.cfg.UseMCTS {
+		if a, ok := s.tree.Select(fp); ok {
+			// Selected edges can be stale (the cap may forbid them now);
+			// verify and fall through to expansion if unplayable.
+			if env.Legal(a) {
+				return a, true
+			}
+		}
+	}
+	legal := env.LegalActions()
+	if len(legal) == 0 {
+		return rl.Action{}, false
+	}
+	priors := s.priors(net, env, legal)
+	if s.cfg.UseMCTS {
+		s.tree.Expand(fp, priors)
+	}
+	return samplePriors(priors, rng), true
+}
+
+// priors maps each legal action to its (unnormalized) policy probability;
+// without a DNN, priors are uniform.
+func (s *Searcher) priors(net *nn.PolicyValueNet, env *rl.Env, legal []rl.Action) map[rl.Action]float64 {
+	priors := make(map[rl.Action]float64, len(legal))
+	if net == nil {
+		for _, a := range legal {
+			priors[a] = 1
+		}
+		return priors
+	}
+	out := net.Forward(env.State(), false)
+	pcw := (1 + out.Dir) / 2
+	for _, a := range legal {
+		p := out.CoordProbs[0][a.X1] * out.CoordProbs[1][a.Y1] *
+			out.CoordProbs[2][a.X2] * out.CoordProbs[3][a.Y2]
+		if a.Dir == topo.Clockwise {
+			p *= pcw
+		} else {
+			p *= 1 - pcw
+		}
+		priors[a] = p
+	}
+	return priors
+}
+
+// sampleRaw draws an action directly from the DNN output heads, the
+// paper's raw policy sample for the episode's initial action.
+func sampleRaw(net *nn.PolicyValueNet, env *rl.Env, rng *rand.Rand) rl.Action {
+	out := net.Forward(env.State(), false)
+	pick := func(probs []float64) int {
+		r := rng.Float64()
+		acc := 0.0
+		for i, p := range probs {
+			acc += p
+			if r < acc {
+				return i
+			}
+		}
+		return len(probs) - 1
+	}
+	dir := topo.Counterclockwise
+	if rng.Float64() < (1+out.Dir)/2 {
+		dir = topo.Clockwise
+	}
+	return rl.Action{
+		X1: pick(out.CoordProbs[0]), Y1: pick(out.CoordProbs[1]),
+		X2: pick(out.CoordProbs[2]), Y2: pick(out.CoordProbs[3]),
+		Dir: dir,
+	}
+}
+
+// samplePriors draws an action proportionally to the prior weights.
+func samplePriors(priors map[rl.Action]float64, rng *rand.Rand) rl.Action {
+	// Deterministic iteration: collect and sort by a stable key.
+	actions := make([]rl.Action, 0, len(priors))
+	total := 0.0
+	for a, p := range priors {
+		actions = append(actions, a)
+		total += p
+	}
+	sortActions(actions)
+	if total <= 0 {
+		return actions[rng.Intn(len(actions))]
+	}
+	r := rng.Float64() * total
+	acc := 0.0
+	for _, a := range actions {
+		acc += priors[a]
+		if r < acc {
+			return a
+		}
+	}
+	return actions[len(actions)-1]
+}
+
+// sortActions orders actions lexicographically for deterministic sampling.
+func sortActions(as []rl.Action) {
+	sort.Slice(as, func(i, j int) bool {
+		a, b := as[i], as[j]
+		if a.X1 != b.X1 {
+			return a.X1 < b.X1
+		}
+		if a.Y1 != b.Y1 {
+			return a.Y1 < b.Y1
+		}
+		if a.X2 != b.X2 {
+			return a.X2 < b.X2
+		}
+		if a.Y2 != b.Y2 {
+			return a.Y2 < b.Y2
+		}
+		return a.Dir < b.Dir
+	})
+}

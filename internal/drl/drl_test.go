@@ -1,0 +1,216 @@
+package drl
+
+import (
+	"testing"
+
+	"routerless/internal/nn"
+	"routerless/internal/rec"
+)
+
+func quickCfg(n, cap, episodes int) Config {
+	cfg := DefaultConfig(n, cap)
+	cfg.Episodes = episodes
+	cfg.NN = nn.Config{N: n, BaseChannels: 2, Pools: 2}
+	return cfg
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{N: 1, OverlapCap: 4}); err == nil {
+		t.Fatal("accepted N=1")
+	}
+	if _, err := New(Config{N: 4, OverlapCap: 0}); err == nil {
+		t.Fatal("accepted missing overlap cap")
+	}
+	if _, err := New(Config{N: 4, OverlapCap: 6, NN: nn.Config{N: 8}}); err == nil {
+		t.Fatal("accepted mismatched NN size")
+	}
+}
+
+func TestSearchFindsValidDesigns4x4(t *testing.T) {
+	res := MustNew(quickCfg(4, 6, 8)).Run()
+	if res.Episodes != 8 {
+		t.Fatalf("episodes = %d", res.Episodes)
+	}
+	if len(res.Valid) == 0 {
+		t.Fatal("no valid designs found")
+	}
+	best := res.Best
+	if best.Topo == nil || !best.Topo.FullyConnected() {
+		t.Fatal("best design not fully connected")
+	}
+	if best.Topo.MaxOverlap() > 6 {
+		t.Fatalf("best design violates cap: overlap %d", best.Topo.MaxOverlap())
+	}
+	if best.AvgHops <= 0 {
+		t.Fatalf("avg hops = %v", best.AvgHops)
+	}
+}
+
+// The headline property: DRL search matches or beats the REC baseline at
+// equal node overlapping (§6.1, Tables 3–4).
+func TestSearchBeatsRECAt4x4(t *testing.T) {
+	res := MustNew(quickCfg(4, 6, 12)).Run()
+	recHops, _ := rec.MustGenerate(4).AverageHops()
+	if res.Best.Topo == nil {
+		t.Fatal("no design")
+	}
+	if res.Best.AvgHops > recHops {
+		t.Fatalf("DRL %.3f worse than REC %.3f", res.Best.AvgHops, recHops)
+	}
+}
+
+func TestSearchDeterministicSingleThread(t *testing.T) {
+	a := MustNew(quickCfg(4, 6, 5)).Run()
+	b := MustNew(quickCfg(4, 6, 5)).Run()
+	if len(a.Valid) != len(b.Valid) || a.Best.AvgHops != b.Best.AvgHops {
+		t.Fatalf("nondeterministic: %d/%.3f vs %d/%.3f",
+			len(a.Valid), a.Best.AvgHops, len(b.Valid), b.Best.AvgHops)
+	}
+}
+
+func TestSearchMultiThreaded(t *testing.T) {
+	cfg := quickCfg(4, 6, 8)
+	cfg.Threads = 4
+	res := MustNew(cfg).Run()
+	if res.Episodes != 8 {
+		t.Fatalf("episodes = %d", res.Episodes)
+	}
+	if len(res.Valid) == 0 {
+		t.Fatal("multithreaded search found nothing")
+	}
+	for _, d := range res.Valid {
+		if !d.Topo.FullyConnected() || d.Topo.MaxOverlap() > 6 {
+			t.Fatal("invalid design recorded as valid")
+		}
+	}
+}
+
+func TestSearchAblationNoDNN(t *testing.T) {
+	cfg := quickCfg(4, 6, 6)
+	cfg.UseDNN = false
+	res := MustNew(cfg).Run()
+	if len(res.Valid) == 0 {
+		t.Fatal("pure-MCTS ablation found nothing")
+	}
+	if len(res.ValueMSE) != 0 {
+		t.Fatal("ValueMSE recorded without a DNN")
+	}
+}
+
+func TestSearchAblationNoMCTS(t *testing.T) {
+	cfg := quickCfg(4, 6, 6)
+	cfg.UseMCTS = false
+	res := MustNew(cfg).Run()
+	if res.TreeSize != 0 {
+		t.Fatalf("tree grew (%d nodes) with MCTS disabled", res.TreeSize)
+	}
+	if len(res.Valid) == 0 {
+		t.Fatal("DNN-only ablation found nothing")
+	}
+}
+
+func TestSearchTracksTrainingSignal(t *testing.T) {
+	res := MustNew(quickCfg(4, 6, 6)).Run()
+	if len(res.ValueMSE) != 6 {
+		t.Fatalf("value MSE entries = %d, want 6", len(res.ValueMSE))
+	}
+	if res.TreeSize == 0 {
+		t.Fatal("tree empty after MCTS search")
+	}
+}
+
+func TestTighterCapStillSearchable(t *testing.T) {
+	// Cap 4 < REC's required 6 on 4x4: REC cannot exist here, DRL can
+	// still try (§6.2 "generate feasible designs for larger NoCs").
+	cfg := quickCfg(4, 4, 10)
+	res := MustNew(cfg).Run()
+	for _, d := range res.Valid {
+		if d.Topo.MaxOverlap() > 4 {
+			t.Fatalf("design exceeds cap 4: %d", d.Topo.MaxOverlap())
+		}
+	}
+	// Finding any valid design under the tight cap is a bonus; the search
+	// must at least complete without violating constraints.
+	if res.Episodes != 10 {
+		t.Fatalf("episodes = %d", res.Episodes)
+	}
+}
+
+func TestMaxLoopLenConstraintHonored(t *testing.T) {
+	cfg := quickCfg(4, 6, 8)
+	cfg.MaxLoopLen = 8 // forbids the 12-node perimeter
+	res := MustNew(cfg).Run()
+	for _, d := range res.Valid {
+		for _, l := range d.Topo.Loops() {
+			if l.Len() > 8 {
+				t.Fatalf("design contains loop of length %d under cap 8", l.Len())
+			}
+		}
+	}
+	// The 4x4 corner pair needs a perimeter-12 loop, so no design can be
+	// fully connected under this constraint: searches must respect that
+	// rather than violating the cap.
+	if len(res.Valid) != 0 {
+		t.Fatalf("impossible constraint produced %d 'valid' designs", len(res.Valid))
+	}
+}
+
+func TestWarmStartWeights(t *testing.T) {
+	cfg := quickCfg(4, 6, 3)
+	s := MustNew(cfg)
+	s.Run()
+	w := s.ModelWeights()
+	if w == nil {
+		t.Fatal("no weights")
+	}
+	cfg2 := quickCfg(4, 6, 2)
+	cfg2.InitWeights = w
+	s2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := s2.Run(); res.Episodes != 2 {
+		t.Fatalf("episodes = %d", res.Episodes)
+	}
+	// Wrong size rejected.
+	cfg3 := quickCfg(4, 6, 2)
+	cfg3.InitWeights = []float64{1}
+	if _, err := New(cfg3); err == nil {
+		t.Fatal("accepted bad InitWeights")
+	}
+	// No-DNN searches have no weights.
+	cfg4 := quickCfg(4, 6, 1)
+	cfg4.UseDNN = false
+	s4 := MustNew(cfg4)
+	s4.Run()
+	if s4.ModelWeights() != nil {
+		t.Fatal("weights present without DNN")
+	}
+}
+
+func TestParamServer(t *testing.T) {
+	ps := newParamServer([]float64{1, 2}, 0.5, 1)
+	ps.apply([]float64{2, -4}) // clipped to [1, -1]
+	w := ps.snapshot()
+	if w[0] != 0.5 || w[1] != 2.5 {
+		t.Fatalf("weights = %v", w)
+	}
+	if ps.updateCount() != 1 {
+		t.Fatalf("updates = %d", ps.updateCount())
+	}
+	// Snapshot is a copy.
+	w[0] = 99
+	if ps.snapshot()[0] == 99 {
+		t.Fatal("snapshot aliases internal weights")
+	}
+}
+
+func TestParamServerLengthMismatchPanics(t *testing.T) {
+	ps := newParamServer([]float64{1}, 0.1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ps.apply([]float64{1, 2})
+}

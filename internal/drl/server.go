@@ -1,0 +1,55 @@
+package drl
+
+import "sync"
+
+// paramServer is the parent thread's shared parameter store (§4.6, Fig. 8):
+// child learners pull weight snapshots and push gradients; the server
+// applies clipped SGD updates under a lock, which both serializes updates
+// and effectively averages concurrent large and small gradients into the
+// shared parameters.
+type paramServer struct {
+	mu      sync.Mutex
+	weights []float64
+	lr      float64
+	clip    float64
+	updates int
+}
+
+func newParamServer(init []float64, lr, clip float64) *paramServer {
+	w := append([]float64(nil), init...)
+	return &paramServer{weights: w, lr: lr, clip: clip}
+}
+
+// snapshot copies the current weights.
+func (ps *paramServer) snapshot() []float64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return append([]float64(nil), ps.weights...)
+}
+
+// apply performs one SGD step with the child's gradients (Eqs. 19–20).
+func (ps *paramServer) apply(grads []float64) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if len(grads) != len(ps.weights) {
+		panic("drl: gradient/weight length mismatch")
+	}
+	for i, g := range grads {
+		if ps.clip > 0 {
+			if g > ps.clip {
+				g = ps.clip
+			} else if g < -ps.clip {
+				g = -ps.clip
+			}
+		}
+		ps.weights[i] -= ps.lr * g
+	}
+	ps.updates++
+}
+
+// updateCount returns how many gradient pushes have been applied.
+func (ps *paramServer) updateCount() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.updates
+}

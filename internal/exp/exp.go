@@ -1,0 +1,282 @@
+// Package exp reproduces every table and figure of the paper's evaluation
+// (§6). Each experiment builds its workloads, runs the DRL search and/or
+// the cycle-accurate simulator, and returns a Report whose rows mirror the
+// published artifact. The same functions back cmd/benchtab and the
+// repository-level benchmarks; EXPERIMENTS.md records paper-vs-measured.
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"routerless/internal/drl"
+	"routerless/internal/imr"
+	"routerless/internal/rec"
+	"routerless/internal/rl"
+	"routerless/internal/sim"
+	"routerless/internal/stats"
+	"routerless/internal/topo"
+	"routerless/internal/traffic"
+	"routerless/internal/viz"
+)
+
+// Options tunes experiment budgets.
+type Options struct {
+	// Quick selects reduced budgets for test/bench runs; the full budgets
+	// approximate the paper's sweeps and take minutes per experiment.
+	Quick bool
+	// Seed drives every stochastic component.
+	Seed int64
+}
+
+// Report is one regenerated artifact.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	rows := append([][]string{r.Header}, r.Rows...)
+	b.WriteString(viz.Table(rows))
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Add appends a formatted row.
+func (r *Report) Add(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// f formats a float compactly.
+func f(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// ---------------------------------------------------------------------------
+// Design cache: experiments share searched designs.
+
+var (
+	designMu    sync.Mutex
+	designCache = map[string]*topo.Topology{}
+)
+
+// searchEpisodes returns the DRL episode budget for a NoC size.
+func searchEpisodes(n int, quick bool) int {
+	if quick {
+		switch {
+		case n <= 4:
+			return 10
+		case n <= 8:
+			return 8
+		default:
+			return 4
+		}
+	}
+	switch {
+	case n <= 4:
+		return 60
+	case n <= 8:
+		return 40
+	default:
+		return 16
+	}
+}
+
+// DRLDesign searches (and caches) the best DRL design for an n×n NoC under
+// the cap. When the search finds no fully connected design in budget it
+// falls back to the greedy completion; nil is returned only when even that
+// cannot connect the NoC under the cap.
+func DRLDesign(n, cap int, o Options) *topo.Topology {
+	key := fmt.Sprintf("drl/%d/%d/%v/%d", n, cap, o.Quick, o.Seed)
+	designMu.Lock()
+	if t, ok := designCache[key]; ok {
+		designMu.Unlock()
+		return t
+	}
+	designMu.Unlock()
+
+	cfg := drl.DefaultConfig(n, cap)
+	cfg.Episodes = searchEpisodes(n, o.Quick)
+	cfg.Seed = o.Seed
+	if n > 10 {
+		// The full-resolution DNN input (N²×N²) is prohibitive beyond
+		// 10x10 within experiment budgets; the framework runs in its
+		// MCTS+greedy configuration there (documented in EXPERIMENTS.md).
+		cfg.UseDNN = false
+	}
+	res := drl.MustNew(cfg).Run()
+	t := res.Best.Topo
+	if t == nil {
+		// Budget exhausted without a complete design: constructive
+		// fallbacks. Plain greedy first; under tight caps (where myopic
+		// greedy exhausts wiring) seed with the lite recursive layering
+		// and let greedy spend the remaining slack.
+		env := rl.NewEnv(n, cap)
+		rl.GreedyImprove(env, 1e-9, 2)
+		if env.FullyConnected() {
+			t = env.Topology()
+		} else if lite, err := rec.GenerateLite(n); err == nil && lite.MaxOverlap() <= cap {
+			env := rl.NewEnvFrom(lite, cap)
+			rl.GreedyImprove(env, 1e-9, 2)
+			if env.FullyConnected() {
+				t = env.Topology()
+			}
+		}
+	}
+	designMu.Lock()
+	designCache[key] = t
+	designMu.Unlock()
+	return t
+}
+
+// IMRDesign returns the cached best individual of the IMR genetic
+// algorithm for an n×n NoC.
+func IMRDesign(n int, o Options) *topo.Topology {
+	key := fmt.Sprintf("imr/%d/%v/%d", n, o.Quick, o.Seed)
+	designMu.Lock()
+	if t, ok := designCache[key]; ok {
+		designMu.Unlock()
+		return t
+	}
+	designMu.Unlock()
+	cfg := imr.DefaultConfig(n)
+	cfg.Seed = o.Seed
+	if o.Quick {
+		cfg.Population = 30
+		cfg.Generations = 40
+	}
+	t := imr.Run(cfg).Best.Topo
+	designMu.Lock()
+	designCache[key] = t
+	designMu.Unlock()
+	return t
+}
+
+// RECDesign returns the cached REC baseline.
+func RECDesign(n int) *topo.Topology {
+	key := fmt.Sprintf("rec/%d", n)
+	designMu.Lock()
+	defer designMu.Unlock()
+	if t, ok := designCache[key]; ok {
+		return t
+	}
+	t := rec.MustGenerate(n)
+	designCache[key] = t
+	return t
+}
+
+// avgHops is a nil-safe average hop count.
+func avgHops(t *topo.Topology) float64 {
+	if t == nil {
+		return 0
+	}
+	m, _ := t.AverageHops()
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Simulation helpers.
+
+// runCfg returns measurement windows matched to the budget.
+func runCfg(o Options) sim.RunConfig {
+	if o.Quick {
+		return sim.RunConfig{WarmupCycles: 800, MeasureCycles: 4000, DrainCycles: 8000}
+	}
+	return sim.RunConfig{WarmupCycles: 5000, MeasureCycles: 20000, DrainCycles: 40000}
+}
+
+// RingRun simulates one synthetic point on a routerless topology.
+func RingRun(t *topo.Topology, p traffic.Pattern, rate float64, o Options) sim.Result {
+	net := sim.NewRing(t, sim.DefaultRingConfig())
+	src := traffic.NewInjector(t.Rows(), t.Cols(), p, rate, 128, o.Seed+17)
+	return sim.Run(net, src, runCfg(o))
+}
+
+// MeshRun simulates one synthetic point on an n×n mesh with the given
+// router pipeline depth.
+func MeshRun(n, delay int, p traffic.Pattern, rate float64, o Options) sim.Result {
+	net := sim.NewMesh(n, n, sim.MeshN(delay))
+	src := traffic.NewInjector(n, n, p, rate, 256, o.Seed+17)
+	return sim.Run(net, src, runCfg(o))
+}
+
+// Sweep runs increasing injection rates until saturation (latency beyond
+// 3× zero-load or undelivered packets), returning the load-latency curve.
+func Sweep(run func(rate float64) sim.Result, rates []float64) []sim.SweepPoint {
+	var pts []sim.SweepPoint
+	zeroLoad := 0.0
+	for _, r := range rates {
+		res := run(r)
+		pts = append(pts, sim.SweepPoint{Rate: r, Result: res})
+		if zeroLoad == 0 {
+			zeroLoad = res.AvgLatency
+		}
+		if res.Saturated || res.AvgLatency > 3*zeroLoad {
+			break
+		}
+	}
+	return pts
+}
+
+// SweepRates returns the paper's injection grid (start 0.005, step 0.005
+// per §5), coarsened under Quick budgets.
+func SweepRates(o Options) []float64 {
+	step := 0.005
+	max := 0.5
+	if o.Quick {
+		step = 0.02
+	}
+	var out []float64
+	for r := 0.005; r <= max; r += step {
+		out = append(out, r)
+	}
+	return out
+}
+
+// SatThroughput extracts saturation throughput from sweep points.
+func SatThroughput(pts []sim.SweepPoint) float64 {
+	return stats.SaturationThroughput(sim.Curve(pts), 3)
+}
+
+// ZeroLoad extracts the zero-load latency from sweep points.
+func ZeroLoad(pts []sim.SweepPoint) float64 {
+	return stats.ZeroLoadLatency(sim.Curve(pts))
+}
+
+// AppRun simulates a PARSEC-like profile on a routerless topology.
+func AppRun(t *topo.Topology, prof traffic.AppProfile, o Options) sim.Result {
+	net := sim.NewRing(t, sim.DefaultRingConfig())
+	src := traffic.NewAppInjector(prof, t.Rows(), t.Cols(), 128, o.Seed+29)
+	return sim.Run(net, src, runCfg(o))
+}
+
+// AppRunMesh simulates a PARSEC-like profile on a mesh.
+func AppRunMesh(n, delay int, prof traffic.AppProfile, o Options) sim.Result {
+	net := sim.NewMesh(n, n, sim.MeshN(delay))
+	src := traffic.NewAppInjector(prof, n, n, 256, o.Seed+29)
+	return sim.Run(net, src, runCfg(o))
+}
+
+// ParsecSuite returns the modelled benchmark list, trimmed under Quick.
+func ParsecSuite(o Options) []traffic.AppProfile {
+	all := traffic.Parsec()
+	if o.Quick {
+		// Keep the suite's extremes: a NoC-sensitive benchmark, an
+		// insensitive one, and two mid-range ones.
+		names := map[string]bool{"blackscholes": true, "canneal": true,
+			"fluidanimate": true, "streamcluster": true}
+		var out []traffic.AppProfile
+		for _, p := range all {
+			if names[p.Name] {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	return all
+}

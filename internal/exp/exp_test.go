@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"routerless/internal/sim"
+	"routerless/internal/traffic"
+)
+
+var testOpts = Options{Quick: true, Seed: 1}
+
+func TestReportString(t *testing.T) {
+	r := &Report{ID: "X", Title: "demo", Header: []string{"a", "b"}}
+	r.Add("1", "2")
+	r.Notes = append(r.Notes, "hello")
+	s := r.String()
+	for _, want := range []string{"X", "demo", "a", "1", "note: hello"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestDesignCachesAndFallbacks(t *testing.T) {
+	a := DRLDesign(4, 6, testOpts)
+	b := DRLDesign(4, 6, testOpts)
+	if a != b {
+		t.Fatal("design cache miss on identical key")
+	}
+	if a == nil || !a.FullyConnected() {
+		t.Fatal("cached design invalid")
+	}
+	if RECDesign(4) != RECDesign(4) {
+		t.Fatal("REC cache broken")
+	}
+	if IMRDesign(4, testOpts) == nil {
+		t.Fatal("IMR design nil")
+	}
+}
+
+func TestSweepStopsAtSaturation(t *testing.T) {
+	tpo := RECDesign(4)
+	pts := Sweep(func(rate float64) sim.Result {
+		return RingRun(tpo, traffic.UniformRandom, rate, testOpts)
+	}, []float64{0.005, 0.1, 0.3, 0.6, 0.9})
+	if len(pts) == 0 {
+		t.Fatal("no sweep points")
+	}
+	if len(pts) == 5 {
+		t.Log("sweep never saturated (acceptable on small NoCs)")
+	}
+	if SatThroughput(pts) <= 0 || ZeroLoad(pts) <= 0 {
+		t.Fatal("sweep metrics nonpositive")
+	}
+}
+
+func TestParsecSuiteTrimming(t *testing.T) {
+	q := ParsecSuite(Options{Quick: true})
+	full := ParsecSuite(Options{Quick: false})
+	if len(q) != 4 || len(full) != 7 {
+		t.Fatalf("suite sizes: quick=%d full=%d", len(q), len(full))
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("nope", testOpts); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// The cheap experiments run end-to-end in tests; heavyweight ones are
+// exercised by the benchmarks.
+func TestFigure15AreaValues(t *testing.T) {
+	r := Figure15Area(testOpts)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[0][1] != "45278.000" {
+		t.Fatalf("mesh area cell = %q", r.Rows[0][1])
+	}
+}
+
+func TestFigure9Runs(t *testing.T) {
+	r := Figure9Topology(testOpts)
+	if len(r.Rows) == 0 {
+		t.Fatal("empty report")
+	}
+	if r.Rows[0][0] == "status" {
+		t.Fatal("4x4 search failed even with greedy fallback")
+	}
+}
+
+func TestTable5ShapeHolds(t *testing.T) {
+	r := Table5ParsecExecTime(testOpts)
+	if len(r.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	// Column order: workload, Mesh-2, Mesh-1, REC, DRL. DRL must be the
+	// smallest (or tied) in every row — the paper's headline.
+	for _, row := range r.Rows {
+		var vals [4]float64
+		for i := 0; i < 4; i++ {
+			if _, err := fmt.Sscanf(row[1+i], "%f", &vals[i]); err != nil {
+				t.Fatalf("unparseable cell %q", row[1+i])
+			}
+		}
+		drl := vals[3]
+		for i := 0; i < 3; i++ {
+			if drl > vals[i]+1e-9 {
+				t.Fatalf("%s: DRL %v not <= column %d (%v)", row[0], drl, i, vals[i])
+			}
+		}
+	}
+}
+
+func TestFigure12OrderingHolds(t *testing.T) {
+	r := Figure12ParsecHops(testOpts)
+	for _, row := range r.Rows {
+		var meshH, recH, drlH float64
+		fmt.Sscanf(row[2], "%f", &meshH)
+		fmt.Sscanf(row[3], "%f", &recH)
+		fmt.Sscanf(row[4], "%f", &drlH)
+		// Paper shape: mesh < DRL < REC per benchmark.
+		if !(meshH <= drlH && drlH <= recH) {
+			t.Fatalf("%s %s: ordering mesh %v <= DRL %v <= REC %v violated",
+				row[0], row[1], meshH, drlH, recH)
+		}
+	}
+}
+
+func TestSection67Reliability(t *testing.T) {
+	r := Section67Reliability(testOpts)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row[1] == "N/A" {
+			t.Fatalf("%s diversity missing", row[0])
+		}
+	}
+}

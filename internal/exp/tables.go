@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"fmt"
+
+	"routerless/internal/drl"
+	"routerless/internal/rec"
+	"routerless/internal/stats"
+)
+
+// Table1Epsilon reproduces Table 1: the ε hyperparameter exploration on an
+// 8×8 NoC — number of valid designs found under a fixed exploration
+// budget, the minimum hop count, and the hop-count standard deviation.
+func Table1Epsilon(o Options) *Report {
+	r := &Report{
+		ID:     "T1",
+		Title:  "Hyperparameter exploration (8x8, fixed budget)",
+		Header: []string{"epsilon", "valid designs", "min hops", "SD hops"},
+		Notes: []string{
+			"paper (5h budget): eps=0.05: 25/5.59/0.140, 0.10: 27/5.60/0.065, 0.20: 11/5.61/0.050, 0.30: 2/5.53/0.040",
+		},
+	}
+	n, cap := 8, 14
+	episodes := 10
+	if !o.Quick {
+		episodes = 60
+	}
+	for _, eps := range []float64{0.05, 0.10, 0.20, 0.30} {
+		cfg := drl.DefaultConfig(n, cap)
+		cfg.Episodes = episodes
+		cfg.Epsilon = eps
+		cfg.Seed = o.Seed
+		res := drl.MustNew(cfg).Run()
+		var hops []float64
+		for _, d := range res.Valid {
+			hops = append(hops, d.AvgHops)
+		}
+		min, sd := 0.0, 0.0
+		if len(hops) > 0 {
+			min, sd = stats.Min(hops), stats.StdDev(hops)
+		}
+		r.Add(f(eps), fmt.Sprintf("%d/%d", len(res.Valid), episodes), f(min), fmt.Sprintf("%.4f", sd))
+	}
+	return r
+}
+
+// Table2LargerNoCs reproduces Table 2: with node overlapping fixed at 18,
+// REC cannot exist beyond 10×10 while DRL still generates fully connected
+// designs whose hop count stays near N.
+func Table2LargerNoCs(o Options) *Report {
+	r := &Report{
+		ID:     "T2",
+		Title:  "Larger NoCs under node overlapping 18",
+		Header: []string{"size", "REC hops", "DRL hops"},
+		Notes: []string{
+			"paper: 10x10 REC 9.64 vs DRL 7.94; DRL 12x12 12.25, 14x14 15.11, 16x16 18.03, 18x18 21.01",
+			"REC requires overlapping 2(N-1): impossible (N/A) beyond 10x10 at cap 18",
+		},
+	}
+	sizes := []int{10, 12}
+	if !o.Quick {
+		sizes = []int{10, 12, 14, 16, 18}
+	}
+	const cap = 18
+	for _, n := range sizes {
+		recCell := "N/A"
+		if rec.MaxOverlap(n) <= cap {
+			recCell = f(avgHops(RECDesign(n)))
+		}
+		drlCell := "N/A"
+		if t := DRLDesign(n, cap, o); t != nil && t.FullyConnected() {
+			drlCell = f(avgHops(t))
+		}
+		r.Add(fmt.Sprintf("%dx%d", n, n), recCell, drlCell)
+	}
+	return r
+}
+
+// overlapSweep implements Tables 3 and 4: hop count versus node
+// overlapping at a fixed NoC size, with REC pinned at its only possible
+// cap.
+func overlapSweep(id string, n int, caps []int, o Options) *Report {
+	recCap := rec.MaxOverlap(n)
+	recHops := avgHops(RECDesign(n))
+	r := &Report{
+		ID:     id,
+		Title:  fmt.Sprintf("Wiring-resource utilization, %dx%d", n, n),
+		Header: []string{"topology", "node overlapping", "hop count", "improve over REC"},
+	}
+	r.Add("REC", fmt.Sprintf("%d", recCap), f(recHops), "N/A")
+	for _, cap := range caps {
+		t := DRLDesign(n, cap, o)
+		if t == nil || !t.FullyConnected() {
+			r.Add("DRL", fmt.Sprintf("%d", cap), "N/A", "N/A")
+			continue
+		}
+		h := avgHops(t)
+		r.Add("DRL", fmt.Sprintf("%d", cap), f(h),
+			fmt.Sprintf("%.2f%%", 100*(recHops-h)/recHops))
+	}
+	return r
+}
+
+// Table3Overlap8x8 reproduces Table 3 (8×8; caps 14–20).
+func Table3Overlap8x8(o Options) *Report {
+	r := overlapSweep("T3", 8, []int{14, 16, 18, 20}, o)
+	r.Notes = append(r.Notes,
+		"paper: REC@14 7.33; DRL 14/16/18/20 -> 6.22/5.94/5.82/5.80 (15.1-20.9% better)")
+	return r
+}
+
+// Table4Overlap10x10 reproduces Table 4 (10×10; caps 18–24).
+func Table4Overlap10x10(o Options) *Report {
+	r := overlapSweep("T4", 10, []int{18, 20, 22, 24}, o)
+	r.Notes = append(r.Notes,
+		"paper: REC@18 9.64; DRL 18/20/22/24 -> 7.94/7.67/7.59/7.55 (17.6-21.7% better)")
+	return r
+}
+
+// Table5ParsecExecTime reproduces Table 5: modelled 8×8 PARSEC execution
+// times (ms) on Mesh-2, Mesh-1, REC and DRL.
+func Table5ParsecExecTime(o Options) *Report {
+	r := &Report{
+		ID:     "T5",
+		Title:  "8x8 PARSEC workload execution time (ms)",
+		Header: []string{"workload", "Mesh-2", "Mesh-1", "REC", "DRL"},
+		Notes: []string{
+			"paper highlights: fluidanimate 35.3/29.2/25.2/24.4; streamcluster flat at 11.0; DRL smallest everywhere",
+			"application models substitute full-system PARSEC (DESIGN.md); absolute times are modelled",
+		},
+	}
+	n := 8
+	recT := RECDesign(n)
+	drlT := DRLDesign(n, rec.MaxOverlap(n), o)
+	for _, prof := range ParsecSuite(o) {
+		m2 := AppRunMesh(n, 2, prof, o).AvgLatency
+		m1 := AppRunMesh(n, 1, prof, o).AvgLatency
+		rc := AppRun(recT, prof, o).AvgLatency
+		dr := AppRun(drlT, prof, o).AvgLatency
+		// The reference latency for the execution-time model is the best
+		// achieved latency: that network runs the benchmark at BaseTime.
+		ideal := min4(m2, m1, rc, dr)
+		r.Add(prof.Name,
+			fmt.Sprintf("%.1f", prof.ExecutionTimeMS(m2, ideal)),
+			fmt.Sprintf("%.1f", prof.ExecutionTimeMS(m1, ideal)),
+			fmt.Sprintf("%.1f", prof.ExecutionTimeMS(rc, ideal)),
+			fmt.Sprintf("%.1f", prof.ExecutionTimeMS(dr, ideal)))
+	}
+	return r
+}
+
+func min4(a, b, c, d float64) float64 {
+	m := a
+	for _, v := range []float64{b, c, d} {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

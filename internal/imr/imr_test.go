@@ -1,0 +1,99 @@
+package imr
+
+import (
+	"testing"
+)
+
+func TestRunProducesResult(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Population = 12
+	cfg.Generations = 10
+	res := Run(cfg)
+	if res.Best.Topo == nil {
+		t.Fatal("no best individual")
+	}
+	if len(res.History) != 11 {
+		t.Fatalf("history length = %d", len(res.History))
+	}
+}
+
+func TestEvolutionImprovesFitness(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Population = 20
+	cfg.Generations = 25
+	res := Run(cfg)
+	first, last := res.History[0], res.History[len(res.History)-1]
+	if last > first {
+		t.Fatalf("fitness worsened: %v -> %v (elitism broken)", first, last)
+	}
+	if last == first {
+		t.Logf("warning: no improvement over %d generations", cfg.Generations)
+	}
+}
+
+func TestElitismMonotone(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Population = 10
+	cfg.Generations = 15
+	res := Run(cfg)
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1]+1e-9 {
+			t.Fatalf("best fitness rose at gen %d: %v -> %v",
+				i, res.History[i-1], res.History[i])
+		}
+	}
+}
+
+func TestGAOftenReachesConnectivitySmall(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Population = 30
+	cfg.Generations = 40
+	cfg.Seed = 3
+	res := Run(cfg)
+	// On 4x4 with n²/2 = 8 rings the GA should connect everything (the
+	// fitness strongly punishes unconnected pairs).
+	if res.Best.Unconnected != 0 {
+		t.Fatalf("best individual leaves %d pairs unconnected", res.Best.Unconnected)
+	}
+	if res.Best.AvgHops <= 0 {
+		t.Fatalf("avg hops = %v", res.Best.AvgHops)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Population = 10
+	cfg.Generations = 8
+	a, b := Run(cfg), Run(cfg)
+	if a.Best.Fitness != b.Best.Fitness {
+		t.Fatal("GA not deterministic for fixed seed")
+	}
+	cfg.Seed = 99
+	c := Run(cfg)
+	if c.Best.Fitness == a.Best.Fitness {
+		t.Log("different seeds gave identical fitness (possible but unlikely)")
+	}
+}
+
+func TestCapPenaltyCounted(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Population = 10
+	cfg.Generations = 5
+	cfg.OverlapCap = 1 // absurdly tight: violations inevitable
+	res := Run(cfg)
+	if res.Best.CapViolations == 0 {
+		t.Fatal("cap 1 with 8 rings should violate somewhere — IMR cannot enforce constraints (§3.1)")
+	}
+}
+
+func TestRandomRingValid(t *testing.T) {
+	cfg := DefaultConfig(6)
+	cfg.Population = 4
+	cfg.Generations = 2
+	res := Run(cfg)
+	for _, l := range res.Best.Rings {
+		if l.R1 >= l.R2 || l.C1 >= l.C2 || l.R2 >= 6 || l.C2 >= 6 {
+			t.Fatalf("malformed ring %v", l)
+		}
+	}
+}

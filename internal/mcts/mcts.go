@@ -1,0 +1,169 @@
+// Package mcts implements the Monte Carlo tree search of §4.5: nodes are
+// previously seen routerless NoC designs (keyed by canonical loop-set
+// fingerprints), edges are loop additions, and each edge tracks the prior
+// P(a;s) supplied by the DNN policy, the visit count N(a;s), and the mean
+// cumulative return V of the subtree it leads to. Selection follows the
+// upper-confidence rule of Eqs. 21–22; an ε-greedy override defers to the
+// greedy search of Algorithm 1 (implemented in package rl).
+package mcts
+
+import (
+	"math"
+	"sync"
+
+	"routerless/internal/rl"
+)
+
+// Edge is the statistics triple for one action out of one state.
+type Edge struct {
+	P float64 // prior probability from the policy network
+	N int     // visit count
+	W float64 // cumulative backed-up return
+}
+
+// V returns the mean return of the edge (0 before any visit).
+func (e *Edge) V() float64 {
+	if e.N == 0 {
+		return 0
+	}
+	return e.W / float64(e.N)
+}
+
+// Node is a previously explored design.
+type Node struct {
+	Edges map[rl.Action]*Edge
+	// SumN caches Σ_j N(a_j; s) for the U term.
+	SumN int
+}
+
+// Tree is the shared search tree. All methods are safe for concurrent use
+// by the multi-threaded learners of §4.6.
+type Tree struct {
+	// C is the exploration constant c of Eq. 22.
+	C float64
+
+	mu    sync.Mutex
+	nodes map[string]*Node
+}
+
+// NewTree builds an empty tree with exploration constant c.
+func NewTree(c float64) *Tree {
+	return &Tree{C: c, nodes: make(map[string]*Node)}
+}
+
+// Size returns the number of stored states.
+func (t *Tree) Size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.nodes)
+}
+
+// Known reports whether the state has been expanded.
+func (t *Tree) Known(fp string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.nodes[fp]
+	return ok
+}
+
+// Expand registers a leaf state with its action priors (normalized here).
+// Expanding an existing node refreshes priors for new actions only, so
+// concurrent learners cannot erase each other's statistics.
+func (t *Tree) Expand(fp string, priors map[rl.Action]float64) {
+	sum := 0.0
+	for _, p := range priors {
+		sum += p
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	node, ok := t.nodes[fp]
+	if !ok {
+		node = &Node{Edges: make(map[rl.Action]*Edge, len(priors))}
+		t.nodes[fp] = node
+	}
+	for a, p := range priors {
+		if _, exists := node.Edges[a]; !exists {
+			np := p
+			if sum > 0 {
+				np = p / sum
+			} else {
+				np = 1 / float64(len(priors))
+			}
+			node.Edges[a] = &Edge{P: np}
+		}
+	}
+}
+
+// Select applies Eq. 21 at the state: argmax over edges of
+// U(s,a) + V(s_next) with U = C·P(a;s)·√(Σ_j N_j)/(1+N(a;s)).
+// The boolean is false when the state is unknown or has no edges.
+func (t *Tree) Select(fp string) (rl.Action, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	node, ok := t.nodes[fp]
+	if !ok || len(node.Edges) == 0 {
+		return rl.Action{}, false
+	}
+	sqrtSum := math.Sqrt(float64(node.SumN) + 1)
+	best := rl.Action{}
+	bestScore := math.Inf(-1)
+	found := false
+	for a, e := range node.Edges {
+		u := t.C * e.P * sqrtSum / (1 + float64(e.N))
+		score := u + e.V()
+		if score > bestScore {
+			bestScore = score
+			best = a
+			found = true
+		}
+	}
+	return best, found
+}
+
+// PathStep identifies one traversed (state, action) pair for Backup.
+type PathStep struct {
+	Fingerprint string
+	Action      rl.Action
+}
+
+// Backup propagates the episode's returns through the traversed edges
+// (§4.5 phase 3): each edge's visit count increments and its cumulative
+// return accumulates the discounted return-to-go from that step.
+// returns[i] must be the return-to-go at path[i].
+func (t *Tree) Backup(path []PathStep, returns []float64) {
+	if len(path) != len(returns) {
+		panic("mcts: path/returns length mismatch")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, s := range path {
+		node, ok := t.nodes[s.Fingerprint]
+		if !ok {
+			continue
+		}
+		e, ok := node.Edges[s.Action]
+		if !ok {
+			e = &Edge{P: 0}
+			node.Edges[s.Action] = e
+		}
+		e.N++
+		node.SumN++
+		e.W += returns[i]
+	}
+}
+
+// EdgeStats returns a copy of the edge statistics for a state, for tests
+// and diagnostics.
+func (t *Tree) EdgeStats(fp string) map[rl.Action]Edge {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	node, ok := t.nodes[fp]
+	if !ok {
+		return nil
+	}
+	out := make(map[rl.Action]Edge, len(node.Edges))
+	for a, e := range node.Edges {
+		out[a] = *e
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package mcts
+
+import (
+	"sync"
+	"testing"
+
+	"routerless/internal/rl"
+	"routerless/internal/topo"
+)
+
+func act(x1, y1, x2, y2 int, d topo.Direction) rl.Action {
+	return rl.Action{X1: x1, Y1: y1, X2: x2, Y2: y2, Dir: d}
+}
+
+func TestExpandNormalizesPriors(t *testing.T) {
+	tr := NewTree(1.5)
+	a, b := act(0, 0, 1, 1, topo.Clockwise), act(0, 0, 2, 2, topo.Clockwise)
+	tr.Expand("s", map[rl.Action]float64{a: 3, b: 1})
+	st := tr.EdgeStats("s")
+	if len(st) != 2 {
+		t.Fatalf("edges = %d", len(st))
+	}
+	if st[a].P != 0.75 || st[b].P != 0.25 {
+		t.Fatalf("priors = %v / %v", st[a].P, st[b].P)
+	}
+}
+
+func TestExpandZeroPriorsUniform(t *testing.T) {
+	tr := NewTree(1.5)
+	a, b := act(0, 0, 1, 1, topo.Clockwise), act(0, 0, 2, 2, topo.Clockwise)
+	tr.Expand("s", map[rl.Action]float64{a: 0, b: 0})
+	st := tr.EdgeStats("s")
+	if st[a].P != 0.5 || st[b].P != 0.5 {
+		t.Fatalf("priors = %v / %v", st[a].P, st[b].P)
+	}
+}
+
+func TestExpandDoesNotEraseStats(t *testing.T) {
+	tr := NewTree(1.5)
+	a := act(0, 0, 1, 1, topo.Clockwise)
+	tr.Expand("s", map[rl.Action]float64{a: 1})
+	tr.Backup([]PathStep{{"s", a}}, []float64{2})
+	tr.Expand("s", map[rl.Action]float64{a: 1}) // re-expansion
+	if st := tr.EdgeStats("s")[a]; st.N != 1 || st.W != 2 {
+		t.Fatalf("stats erased: %+v", st)
+	}
+}
+
+func TestSelectUnknownState(t *testing.T) {
+	tr := NewTree(1.5)
+	if _, ok := tr.Select("nope"); ok {
+		t.Fatal("selected from unknown state")
+	}
+}
+
+func TestSelectPrefersPriorWhenUnvisited(t *testing.T) {
+	tr := NewTree(1.5)
+	hi, lo := act(0, 0, 3, 3, topo.Clockwise), act(0, 0, 1, 1, topo.Clockwise)
+	tr.Expand("s", map[rl.Action]float64{hi: 0.9, lo: 0.1})
+	a, ok := tr.Select("s")
+	if !ok || a != hi {
+		t.Fatalf("selected %v, want high-prior action", a)
+	}
+}
+
+func TestSelectShiftsToHighReturn(t *testing.T) {
+	tr := NewTree(0.1) // small exploration constant
+	good, bad := act(0, 0, 3, 3, topo.Clockwise), act(0, 0, 1, 1, topo.Clockwise)
+	tr.Expand("s", map[rl.Action]float64{good: 0.1, bad: 0.9})
+	// Observed returns favour "good" strongly.
+	for i := 0; i < 10; i++ {
+		tr.Backup([]PathStep{{"s", good}}, []float64{5})
+		tr.Backup([]PathStep{{"s", bad}}, []float64{-5})
+	}
+	a, ok := tr.Select("s")
+	if !ok || a != good {
+		t.Fatalf("selected %v despite returns favouring good", a)
+	}
+}
+
+func TestBackupAccumulates(t *testing.T) {
+	tr := NewTree(1)
+	a := act(0, 0, 1, 1, topo.Clockwise)
+	tr.Expand("s", map[rl.Action]float64{a: 1})
+	tr.Backup([]PathStep{{"s", a}}, []float64{3})
+	tr.Backup([]PathStep{{"s", a}}, []float64{1})
+	st := tr.EdgeStats("s")[a]
+	if st.N != 2 || st.W != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if v := st.V(); v != 2 {
+		t.Fatalf("V = %v", v)
+	}
+}
+
+func TestBackupUnknownStateIgnored(t *testing.T) {
+	tr := NewTree(1)
+	tr.Backup([]PathStep{{"missing", act(0, 0, 1, 1, topo.Clockwise)}}, []float64{1})
+	if tr.Size() != 0 {
+		t.Fatal("backup created a node")
+	}
+}
+
+func TestBackupLengthMismatchPanics(t *testing.T) {
+	tr := NewTree(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	tr.Backup([]PathStep{{"s", act(0, 0, 1, 1, topo.Clockwise)}}, nil)
+}
+
+func TestTreeConcurrentAccess(t *testing.T) {
+	tr := NewTree(1.5)
+	a := act(0, 0, 1, 1, topo.Clockwise)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Expand("shared", map[rl.Action]float64{a: 1})
+				tr.Backup([]PathStep{{"shared", a}}, []float64{1})
+				tr.Select("shared")
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := tr.EdgeStats("shared")[a]
+	if st.N != 1600 {
+		t.Fatalf("N = %d, want 1600", st.N)
+	}
+}
+
+func TestEdgeVZeroVisits(t *testing.T) {
+	e := &Edge{P: 1}
+	if e.V() != 0 {
+		t.Fatal("unvisited V != 0")
+	}
+}

@@ -1,0 +1,482 @@
+// Package nn is a from-scratch neural-network library implementing exactly
+// the components the paper's DNN needs (Fig. 6): 2-D convolutions, batch
+// normalization, max pooling, ReLU, fully connected layers, residual
+// blocks, softmax/tanh heads, and plain SGD. Feature maps are tensors with
+// shape (channels, height, width); training operates on single examples,
+// matching the paper's per-step actor-critic updates.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"routerless/internal/tensor"
+)
+
+// Param couples a learnable weight tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	G    *tensor.Tensor
+}
+
+func newParam(name string, w *tensor.Tensor) *Param {
+	return &Param{Name: name, W: w, G: w.ZerosLike()}
+}
+
+// Layer is a differentiable module. Backward consumes dL/d(output),
+// accumulates parameter gradients, and returns dL/d(input). Layers cache
+// their most recent Forward inputs; they are not reentrant.
+type Layer interface {
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// ---------------------------------------------------------------------------
+// Conv2D
+
+// Conv2D is a 2-D convolution with stride 1 and zero "same" padding.
+type Conv2D struct {
+	InC, OutC, K int
+	Weight       *Param // shape (OutC, InC, K, K)
+	Bias         *Param // shape (OutC)
+
+	x *tensor.Tensor // cached input
+}
+
+// NewConv2D builds a conv layer with He-initialized weights.
+func NewConv2D(rng *rand.Rand, name string, inC, outC, k int) *Conv2D {
+	std := math.Sqrt(2.0 / float64(inC*k*k))
+	return &Conv2D{
+		InC: inC, OutC: outC, K: k,
+		Weight: newParam(name+".w", tensor.Randn(rng, std, outC, inC, k, k)),
+		Bias:   newParam(name+".b", tensor.New(outC)),
+	}
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if len(x.Shape) != 3 || x.Shape[0] != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D input shape %v, want (%d,H,W)", x.Shape, c.InC))
+	}
+	c.x = x
+	h, w := x.Shape[1], x.Shape[2]
+	pad := (c.K - 1) / 2
+	out := tensor.New(c.OutC, h, w)
+	for oc := 0; oc < c.OutC; oc++ {
+		b := c.Bias.W.Data[oc]
+		for oy := 0; oy < h; oy++ {
+			for ox := 0; ox < w; ox++ {
+				s := b
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy + ky - pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox + kx - pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							s += c.Weight.W.Data[((oc*c.InC+ic)*c.K+ky)*c.K+kx] *
+								x.Data[(ic*h+iy)*w+ix]
+						}
+					}
+				}
+				out.Data[(oc*h+oy)*w+ox] = s
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.x
+	h, w := x.Shape[1], x.Shape[2]
+	pad := (c.K - 1) / 2
+	dx := x.ZerosLike()
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < h; oy++ {
+			for ox := 0; ox < w; ox++ {
+				g := grad.Data[(oc*h+oy)*w+ox]
+				if g == 0 {
+					continue
+				}
+				c.Bias.G.Data[oc] += g
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy + ky - pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox + kx - pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							wi := ((oc*c.InC+ic)*c.K+ky)*c.K + kx
+							xi := (ic*h+iy)*w + ix
+							c.Weight.G.Data[wi] += g * x.Data[xi]
+							dx.Data[xi] += g * c.Weight.W.Data[wi]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// ---------------------------------------------------------------------------
+// BatchNorm (per-channel over spatial dims; batch of one)
+
+// BatchNorm normalizes each channel over its spatial extent, with learnable
+// scale/shift and running statistics for evaluation mode.
+type BatchNorm struct {
+	C     int
+	Gamma *Param
+	Beta  *Param
+
+	Momentum float64
+	RunMean  []float64
+	RunVar   []float64
+	Eps      float64
+
+	x     *tensor.Tensor
+	xhat  []float64
+	mean  []float64
+	invSD []float64
+}
+
+// NewBatchNorm builds a batch-norm layer for c channels.
+func NewBatchNorm(name string, c int) *BatchNorm {
+	g := tensor.New(c)
+	g.Fill(1)
+	bn := &BatchNorm{
+		C:        c,
+		Gamma:    newParam(name+".gamma", g),
+		Beta:     newParam(name+".beta", tensor.New(c)),
+		Momentum: 0.9,
+		RunMean:  make([]float64, c),
+		RunVar:   make([]float64, c),
+		Eps:      1e-5,
+	}
+	for i := range bn.RunVar {
+		bn.RunVar[i] = 1
+	}
+	return bn
+}
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 3 || x.Shape[0] != b.C {
+		panic(fmt.Sprintf("nn: BatchNorm input %v, want (%d,H,W)", x.Shape, b.C))
+	}
+	h, w := x.Shape[1], x.Shape[2]
+	n := h * w
+	out := x.ZerosLike()
+	b.x = x
+	b.xhat = make([]float64, x.Size())
+	b.mean = make([]float64, b.C)
+	b.invSD = make([]float64, b.C)
+	for c := 0; c < b.C; c++ {
+		ch := x.Data[c*n : (c+1)*n]
+		var mean, varc float64
+		if train {
+			for _, v := range ch {
+				mean += v
+			}
+			mean /= float64(n)
+			for _, v := range ch {
+				d := v - mean
+				varc += d * d
+			}
+			varc /= float64(n)
+			b.RunMean[c] = b.Momentum*b.RunMean[c] + (1-b.Momentum)*mean
+			b.RunVar[c] = b.Momentum*b.RunVar[c] + (1-b.Momentum)*varc
+		} else {
+			mean, varc = b.RunMean[c], b.RunVar[c]
+		}
+		inv := 1 / math.Sqrt(varc+b.Eps)
+		b.mean[c], b.invSD[c] = mean, inv
+		g, beta := b.Gamma.W.Data[c], b.Beta.W.Data[c]
+		for i, v := range ch {
+			xh := (v - mean) * inv
+			b.xhat[c*n+i] = xh
+			out.Data[c*n+i] = g*xh + beta
+		}
+	}
+	return out
+}
+
+// Backward implements Layer (training-mode gradient).
+func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	h, w := b.x.Shape[1], b.x.Shape[2]
+	n := h * w
+	dx := b.x.ZerosLike()
+	for c := 0; c < b.C; c++ {
+		g := b.Gamma.W.Data[c]
+		var sumDy, sumDyXhat float64
+		for i := 0; i < n; i++ {
+			dy := grad.Data[c*n+i]
+			sumDy += dy
+			sumDyXhat += dy * b.xhat[c*n+i]
+		}
+		b.Gamma.G.Data[c] += sumDyXhat
+		b.Beta.G.Data[c] += sumDy
+		inv := b.invSD[c]
+		for i := 0; i < n; i++ {
+			dy := grad.Data[c*n+i]
+			xh := b.xhat[c*n+i]
+			dx.Data[c*n+i] = g * inv / float64(n) *
+				(float64(n)*dy - sumDy - xh*sumDyXhat)
+		}
+	}
+	return dx
+}
+
+// ---------------------------------------------------------------------------
+// ReLU
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU builds a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	out := x.Clone()
+	r.mask = make([]bool, len(out.Data))
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := grad.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// ---------------------------------------------------------------------------
+// MaxPool 2x2 stride 2
+
+// MaxPool halves spatial dimensions with 2×2 windows (odd trailing
+// rows/columns are dropped, as in the paper's "pool, /2" stages).
+type MaxPool struct {
+	argmax []int
+	inSh   []int
+}
+
+// NewMaxPool builds the pooling layer.
+func NewMaxPool() *MaxPool { return &MaxPool{} }
+
+// Params implements Layer.
+func (p *MaxPool) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *MaxPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh, ow := h/2, w/2
+	if oh < 1 || ow < 1 {
+		panic(fmt.Sprintf("nn: MaxPool input %v too small", x.Shape))
+	}
+	out := tensor.New(c, oh, ow)
+	p.argmax = make([]int, out.Size())
+	p.inSh = x.Shape
+	for ci := 0; ci < c; ci++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				// Initialize from the first window element so NaN inputs
+				// (diverged training) degrade gracefully instead of
+				// leaving the argmax unset.
+				bestIdx := (ci*h+2*oy)*w + 2*ox
+				best := x.Data[bestIdx]
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						idx := (ci*h+2*oy+dy)*w + 2*ox + dx
+						if x.Data[idx] > best {
+							best = x.Data[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				oi := (ci*oh+oy)*ow + ox
+				out.Data[oi] = best
+				p.argmax[oi] = bestIdx
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.inSh...)
+	for oi, idx := range p.argmax {
+		dx.Data[idx] += grad.Data[oi]
+	}
+	return dx
+}
+
+// ---------------------------------------------------------------------------
+// Dense (fully connected)
+
+// Dense is a fully connected layer on flattened inputs.
+type Dense struct {
+	In, Out int
+	Weight  *Param // (Out, In)
+	Bias    *Param // (Out)
+
+	x *tensor.Tensor
+}
+
+// NewDense builds an FC layer with Xavier-initialized weights.
+func NewDense(rng *rand.Rand, name string, in, out int) *Dense {
+	std := math.Sqrt(1.0 / float64(in))
+	return &Dense{
+		In: in, Out: out,
+		Weight: newParam(name+".w", tensor.Randn(rng, std, out, in)),
+		Bias:   newParam(name+".b", tensor.New(out)),
+	}
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
+
+// Forward implements Layer; the input is flattened regardless of shape.
+func (d *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Size() != d.In {
+		panic(fmt.Sprintf("nn: Dense input size %d, want %d", x.Size(), d.In))
+	}
+	d.x = x
+	y := tensor.MatVec(d.Weight.W, x.Data)
+	for i := range y {
+		y[i] += d.Bias.W.Data[i]
+	}
+	return tensor.FromSlice(y, d.Out)
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for o := 0; o < d.Out; o++ {
+		g := grad.Data[o]
+		d.Bias.G.Data[o] += g
+		if g == 0 {
+			continue
+		}
+		row := d.Weight.G.Data[o*d.In : (o+1)*d.In]
+		for i, xv := range d.x.Data {
+			row[i] += g * xv
+		}
+	}
+	dx := tensor.MatVecT(d.Weight.W, grad.Data)
+	return tensor.FromSlice(dx, d.x.Shape...)
+}
+
+// ---------------------------------------------------------------------------
+// Sequential & residual block
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a chain.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Residual is the paper's residual building block (Fig. 6(a)/(b)):
+// out = ReLU(F(x) + x) where F is conv-BN-ReLU-conv-BN with matching
+// channel counts.
+type Residual struct {
+	Body *Sequential
+	relu *ReLU
+	x    *tensor.Tensor
+}
+
+// NewResidual builds a residual block of two 3×3 convolutions on c
+// channels.
+func NewResidual(rng *rand.Rand, name string, c int) *Residual {
+	return &Residual{
+		Body: NewSequential(
+			NewConv2D(rng, name+".conv1", c, c, 3),
+			NewBatchNorm(name+".bn1", c),
+			NewReLU(),
+			NewConv2D(rng, name+".conv2", c, c, 3),
+			NewBatchNorm(name+".bn2", c),
+		),
+		relu: NewReLU(),
+	}
+}
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param { return r.Body.Params() }
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	r.x = x
+	f := r.Body.Forward(x, train)
+	sum := f.Clone()
+	sum.AddInPlace(x)
+	return r.relu.Forward(sum, train)
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := r.relu.Backward(grad)
+	dxBody := r.Body.Backward(g.Clone())
+	dx := dxBody.Clone()
+	dx.AddInPlace(g) // shortcut path
+	return dx
+}

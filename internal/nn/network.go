@@ -1,0 +1,303 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"routerless/internal/tensor"
+)
+
+// Config sizes the two-headed policy/value network of Fig. 6(c).
+type Config struct {
+	// N is the NoC side length; the input is an N²×N² hop-count matrix.
+	N int
+	// BaseChannels is the width of the first stage (paper: 16); later
+	// stages use 2×, 4× and 8× that width. Tests shrink this.
+	BaseChannels int
+	// Pools is how many 2× max-pool stages to apply (paper: 3). It is
+	// clamped so the spatial extent never vanishes.
+	Pools int
+}
+
+// DefaultConfig returns the paper's architecture for an N×N NoC.
+func DefaultConfig(n int) Config { return Config{N: n, BaseChannels: 16, Pools: 3} }
+
+// TestConfig returns a narrow variant for fast tests.
+func TestConfig(n int) Config { return Config{N: n, BaseChannels: 2, Pools: 2} }
+
+// Output is one forward pass's result.
+type Output struct {
+	// CoordLogits/CoordProbs hold the four softmax groups for
+	// (x1, y1, x2, y2), each of length N.
+	CoordLogits [4][]float64
+	CoordProbs  [4][]float64
+	// DirPre is the pre-tanh direction logit; Dir is tanh(DirPre) in
+	// (-1, 1): > 0 means clockwise (§4.4).
+	DirPre, Dir float64
+	// Value is the predicted cumulative return.
+	Value float64
+}
+
+// PolicyValueNet is the deep residual two-headed network (Fig. 6(c)):
+// a convolutional trunk shared by a policy head (four coordinate softmax
+// groups plus a tanh loop-direction output) and a value head.
+type PolicyValueNet struct {
+	Cfg Config
+
+	trunk *Sequential
+	// policy coordinate head
+	pConv *Sequential
+	pFC1  *Dense
+	pReLU *ReLU
+	pFC2  *Dense // -> 4N logits
+	// direction head
+	dConv *Sequential
+	dFC   *Dense // -> 1 (pre-tanh)
+	// value head
+	vConv *Sequential
+	vFC   *Dense // -> 1
+
+	trunkOut *tensor.Tensor
+	pConvOut *tensor.Tensor
+	dConvOut *tensor.Tensor
+	vConvOut *tensor.Tensor
+
+	params []*Param
+}
+
+// NewPolicyValueNet constructs the network with the given seed.
+func NewPolicyValueNet(cfg Config, seed int64) *PolicyValueNet {
+	if cfg.N < 2 {
+		panic("nn: NoC size too small")
+	}
+	if cfg.BaseChannels < 1 {
+		cfg.BaseChannels = 16
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := cfg.N * cfg.N
+	// Clamp pools so the final spatial side stays >= 2.
+	pools := cfg.Pools
+	for pools > 0 && side>>(uint(pools)) < 2 {
+		pools--
+	}
+	cfg.Pools = pools
+
+	c1 := cfg.BaseChannels
+	c2, c3, c4 := 2*c1, 4*c1, 8*c1
+
+	var trunk []Layer
+	// "NxN conv, 16" — the stem kernel matches the NoC dimension.
+	trunk = append(trunk,
+		NewConv2D(rng, "stem", 1, c1, cfg.N|1), // odd kernel for same padding
+		NewBatchNorm("stem.bn", c1),
+		NewReLU(),
+		NewResidual(rng, "res1", c1),
+	)
+	stage := 0
+	addPool := func() bool {
+		if stage < pools {
+			trunk = append(trunk, NewMaxPool())
+			stage++
+			return true
+		}
+		return false
+	}
+	addPool()
+	trunk = append(trunk,
+		NewConv2D(rng, "conv2", c1, c2, 3),
+		NewBatchNorm("conv2.bn", c2),
+		NewReLU(),
+	)
+	addPool()
+	trunk = append(trunk, NewResidual(rng, "res2", c2),
+		NewConv2D(rng, "conv3", c2, c3, 3),
+		NewBatchNorm("conv3.bn", c3),
+		NewReLU(),
+	)
+	addPool()
+	trunk = append(trunk, NewResidual(rng, "res3", c3),
+		NewConv2D(rng, "conv4", c3, c4, 3),
+		NewBatchNorm("conv4.bn", c4),
+		NewReLU(),
+		NewResidual(rng, "res4", c4),
+	)
+
+	finalSide := side >> uint(pools)
+	hw := finalSide * finalSide
+
+	net := &PolicyValueNet{
+		Cfg:   cfg,
+		trunk: NewSequential(trunk...),
+		pConv: NewSequential(NewConv2D(rng, "p.conv", c4, 2, 3), NewReLU()),
+		pFC1:  NewDense(rng, "p.fc1", 2*hw, 32),
+		pReLU: NewReLU(),
+		pFC2:  NewDense(rng, "p.fc2", 32, 4*cfg.N),
+		dConv: NewSequential(NewConv2D(rng, "d.conv", c4, 2, 3), NewReLU()),
+		dFC:   NewDense(rng, "d.fc", 2*hw, 1),
+		vConv: NewSequential(NewConv2D(rng, "v.conv", c4, 1, 3), NewReLU()),
+		vFC:   NewDense(rng, "v.fc", hw, 1),
+	}
+	net.params = append(net.params, net.trunk.Params()...)
+	net.params = append(net.params, net.pConv.Params()...)
+	net.params = append(net.params, net.pFC1.Params()...)
+	net.params = append(net.params, net.pFC2.Params()...)
+	net.params = append(net.params, net.dConv.Params()...)
+	net.params = append(net.params, net.dFC.Params()...)
+	net.params = append(net.params, net.vConv.Params()...)
+	net.params = append(net.params, net.vFC.Params()...)
+	return net
+}
+
+// Params returns every learnable parameter.
+func (n *PolicyValueNet) Params() []*Param { return n.params }
+
+// NumParams returns the total scalar parameter count.
+func (n *PolicyValueNet) NumParams() int {
+	total := 0
+	for _, p := range n.params {
+		total += p.W.Size()
+	}
+	return total
+}
+
+// Forward evaluates the network on a hop-count matrix (flattened N²×N²,
+// as produced by topo.HopMatrix). Inputs are normalized by 5N so values
+// lie in [0, 1].
+func (n *PolicyValueNet) Forward(hopMatrix []float64, train bool) *Output {
+	side := n.Cfg.N * n.Cfg.N
+	if len(hopMatrix) != side*side {
+		panic(fmt.Sprintf("nn: input length %d, want %d", len(hopMatrix), side*side))
+	}
+	x := tensor.New(1, side, side)
+	norm := 5 * float64(n.Cfg.N)
+	for i, v := range hopMatrix {
+		x.Data[i] = v / norm
+	}
+	n.trunkOut = n.trunk.Forward(x, train)
+
+	out := &Output{}
+	// Policy coordinates.
+	n.pConvOut = n.pConv.Forward(n.trunkOut, train)
+	h1 := n.pReLU.Forward(n.pFC1.Forward(n.pConvOut, train), train)
+	logits := n.pFC2.Forward(h1, train)
+	for g := 0; g < 4; g++ {
+		ls := append([]float64(nil), logits.Data[g*n.Cfg.N:(g+1)*n.Cfg.N]...)
+		out.CoordLogits[g] = ls
+		out.CoordProbs[g] = tensor.Softmax(ls)
+	}
+	// Direction.
+	n.dConvOut = n.dConv.Forward(n.trunkOut, train)
+	dpre := n.dFC.Forward(n.dConvOut, train)
+	out.DirPre = dpre.Data[0]
+	out.Dir = math.Tanh(out.DirPre)
+	// Value.
+	n.vConvOut = n.vConv.Forward(n.trunkOut, train)
+	out.Value = n.vFC.Forward(n.vConvOut, train).Data[0]
+	return out
+}
+
+// Backward back-propagates head gradients from the most recent Forward:
+// dLogits are dL/d(coordinate logits) (4 groups of N), dDirPre is
+// dL/d(pre-tanh direction), dValue is dL/d(value).
+func (n *PolicyValueNet) Backward(dLogits [4][]float64, dDirPre, dValue float64) {
+	flat := make([]float64, 4*n.Cfg.N)
+	for g := 0; g < 4; g++ {
+		copy(flat[g*n.Cfg.N:], dLogits[g])
+	}
+	gp := n.pFC2.Backward(tensor.FromSlice(flat, 4*n.Cfg.N))
+	gp = n.pReLU.Backward(gp)
+	gp = n.pFC1.Backward(gp)
+	gTrunk := n.pConv.Backward(gp.Reshape(n.pConvOut.Shape...))
+
+	gd := n.dFC.Backward(tensor.FromSlice([]float64{dDirPre}, 1))
+	gTrunk.AddInPlace(n.dConv.Backward(gd.Reshape(n.dConvOut.Shape...)))
+
+	gv := n.vFC.Backward(tensor.FromSlice([]float64{dValue}, 1))
+	gTrunk.AddInPlace(n.vConv.Backward(gv.Reshape(n.vConvOut.Shape...)))
+
+	n.trunk.Backward(gTrunk)
+}
+
+// ZeroGrads clears every parameter gradient.
+func (n *PolicyValueNet) ZeroGrads() {
+	for _, p := range n.params {
+		p.G.Fill(0)
+	}
+}
+
+// GetWeights flattens all parameters into one slice (for the parameter
+// server of §4.6).
+func (n *PolicyValueNet) GetWeights() []float64 {
+	var out []float64
+	for _, p := range n.params {
+		out = append(out, p.W.Data...)
+	}
+	return out
+}
+
+// SetWeights loads a flat slice previously produced by GetWeights.
+func (n *PolicyValueNet) SetWeights(w []float64) {
+	off := 0
+	for _, p := range n.params {
+		copy(p.W.Data, w[off:off+p.W.Size()])
+		off += p.W.Size()
+	}
+	if off != len(w) {
+		panic(fmt.Sprintf("nn: SetWeights length %d, want %d", len(w), off))
+	}
+}
+
+// GetGrads flattens all gradients.
+func (n *PolicyValueNet) GetGrads() []float64 {
+	var out []float64
+	for _, p := range n.params {
+		out = append(out, p.G.Data...)
+	}
+	return out
+}
+
+// ApplyGrads performs an SGD step with the given flat gradient and
+// learning rate, clipping each component to clip (0 disables clipping).
+func (n *PolicyValueNet) ApplyGrads(grads []float64, lr, clip float64) {
+	off := 0
+	for _, p := range n.params {
+		for i := 0; i < p.W.Size(); i++ {
+			g := grads[off+i]
+			if clip > 0 {
+				if g > clip {
+					g = clip
+				} else if g < -clip {
+					g = -clip
+				}
+			}
+			p.W.Data[i] -= lr * g
+		}
+		off += p.W.Size()
+	}
+}
+
+// SGD is the plain stochastic-gradient optimizer (Eqs. 19–20).
+type SGD struct {
+	LR   float64
+	Clip float64
+}
+
+// Step applies accumulated gradients to the network's own parameters and
+// clears them.
+func (s SGD) Step(n *PolicyValueNet) {
+	for _, p := range n.params {
+		for i := range p.W.Data {
+			g := p.G.Data[i]
+			if s.Clip > 0 {
+				if g > s.Clip {
+					g = s.Clip
+				} else if g < -s.Clip {
+					g = -s.Clip
+				}
+			}
+			p.W.Data[i] -= s.LR * g
+		}
+	}
+	n.ZeroGrads()
+}

@@ -1,0 +1,243 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomHopMatrix(rng *rand.Rand, n int) []float64 {
+	side := n * n
+	m := make([]float64, side*side)
+	for i := range m {
+		m[i] = float64(rng.Intn(5 * n))
+	}
+	return m
+}
+
+func TestNetworkOutputShapes(t *testing.T) {
+	net := NewPolicyValueNet(TestConfig(4), 1)
+	out := net.Forward(randomHopMatrix(rand.New(rand.NewSource(2)), 4), false)
+	for g := 0; g < 4; g++ {
+		if len(out.CoordProbs[g]) != 4 {
+			t.Fatalf("group %d length %d", g, len(out.CoordProbs[g]))
+		}
+		sum := 0.0
+		for _, p := range out.CoordProbs[g] {
+			if p < 0 || p > 1 {
+				t.Fatalf("prob out of range: %v", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("group %d probs sum %v", g, sum)
+		}
+	}
+	if out.Dir <= -1 || out.Dir >= 1 {
+		t.Fatalf("dir = %v, want in (-1,1)", out.Dir)
+	}
+	if math.IsNaN(out.Value) {
+		t.Fatal("NaN value")
+	}
+}
+
+func TestNetworkRejectsBadInput(t *testing.T) {
+	net := NewPolicyValueNet(TestConfig(4), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong input size")
+		}
+	}()
+	net.Forward(make([]float64, 10), false)
+}
+
+func TestNetworkDeterministicPerSeed(t *testing.T) {
+	in := randomHopMatrix(rand.New(rand.NewSource(3)), 4)
+	a := NewPolicyValueNet(TestConfig(4), 7).Forward(in, false)
+	b := NewPolicyValueNet(TestConfig(4), 7).Forward(in, false)
+	if a.Value != b.Value || a.Dir != b.Dir {
+		t.Fatal("same seed, different outputs")
+	}
+	c := NewPolicyValueNet(TestConfig(4), 8).Forward(in, false)
+	if a.Value == c.Value {
+		t.Fatal("different seeds produced identical value (suspicious)")
+	}
+}
+
+func TestWeightsRoundTrip(t *testing.T) {
+	a := NewPolicyValueNet(TestConfig(4), 1)
+	b := NewPolicyValueNet(TestConfig(4), 2)
+	in := randomHopMatrix(rand.New(rand.NewSource(4)), 4)
+	if a.Forward(in, false).Value == b.Forward(in, false).Value {
+		t.Fatal("nets should differ before sync")
+	}
+	b.SetWeights(a.GetWeights())
+	// Running stats are not weights; use train=false after syncing BN run
+	// stats too... they start identical (fresh nets), so eval matches.
+	av := a.Forward(in, false)
+	bv := b.Forward(in, false)
+	if av.Value != bv.Value || av.Dir != bv.Dir {
+		t.Fatalf("weight sync failed: %v vs %v", av.Value, bv.Value)
+	}
+	if a.NumParams() != len(a.GetWeights()) {
+		t.Fatalf("NumParams %d != flat weights %d", a.NumParams(), len(a.GetWeights()))
+	}
+}
+
+// End-to-end gradient check through the full two-headed network: loss =
+// sum of logits*w + dirPre*wd + value*wv, differentiated w.r.t. a few
+// parameters.
+func TestNetworkBackwardGradientCheck(t *testing.T) {
+	net := NewPolicyValueNet(Config{N: 3, BaseChannels: 1, Pools: 1}, 5)
+	rng := rand.New(rand.NewSource(6))
+	in := randomHopMatrix(rng, 3)
+
+	var lw [4][]float64
+	for g := range lw {
+		lw[g] = make([]float64, 3)
+		for i := range lw[g] {
+			lw[g][i] = rng.NormFloat64()
+		}
+	}
+	wd, wv := rng.NormFloat64(), rng.NormFloat64()
+
+	loss := func() float64 {
+		o := net.Forward(in, true)
+		s := 0.0
+		for g := 0; g < 4; g++ {
+			for i, w := range lw[g] {
+				s += o.CoordLogits[g][i] * w
+			}
+		}
+		return s + o.DirPre*wd + o.Value*wv
+	}
+
+	net.ZeroGrads()
+	net.Forward(in, true)
+	net.Backward(lw, wd, wv)
+
+	checked := 0
+	for _, p := range net.Params() {
+		if p.W.Size() == 0 {
+			continue
+		}
+		i := rng.Intn(p.W.Size())
+		const h = 1e-5
+		orig := p.W.Data[i]
+		p.W.Data[i] = orig + h
+		up := loss()
+		p.W.Data[i] = orig - h
+		down := loss()
+		p.W.Data[i] = orig
+		want := (up - down) / (2 * h)
+		got := p.G.Data[i]
+		if math.Abs(got-want) > 2e-3*(1+math.Abs(want)) {
+			t.Fatalf("param %s grad[%d]: analytic %v numeric %v", p.Name, i, got, want)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d params checked", checked)
+	}
+}
+
+// Policy-gradient sanity: pushing the gradient of -log π(a) for a fixed
+// action must increase that action's probability.
+func TestPolicyGradientIncreasesActionProbability(t *testing.T) {
+	net := NewPolicyValueNet(TestConfig(4), 9)
+	in := randomHopMatrix(rand.New(rand.NewSource(10)), 4)
+	action := [4]int{1, 2, 3, 0}
+
+	prob := func() float64 {
+		o := net.Forward(in, false)
+		p := 1.0
+		for g := 0; g < 4; g++ {
+			p *= o.CoordProbs[g][action[g]]
+		}
+		return p
+	}
+	before := prob()
+	sgd := SGD{LR: 0.05}
+	for step := 0; step < 20; step++ {
+		o := net.Forward(in, true)
+		var dLogits [4][]float64
+		for g := 0; g < 4; g++ {
+			dLogits[g] = make([]float64, 4)
+			for i := 0; i < 4; i++ {
+				// d(-log p_a)/d logit_i = p_i - 1{i==a}
+				dLogits[g][i] = o.CoordProbs[g][i]
+				if i == action[g] {
+					dLogits[g][i] -= 1
+				}
+			}
+		}
+		net.ZeroGrads()
+		net.Backward(dLogits, 0, 0)
+		sgd.Step(net)
+	}
+	after := prob()
+	if after <= before {
+		t.Fatalf("action probability did not increase: %v -> %v", before, after)
+	}
+}
+
+// Value-head regression sanity: training V toward a target reduces error.
+func TestValueHeadLearnsTarget(t *testing.T) {
+	net := NewPolicyValueNet(TestConfig(4), 11)
+	in := randomHopMatrix(rand.New(rand.NewSource(12)), 4)
+	target := -2.5
+	sgd := SGD{LR: 0.02}
+	var zero [4][]float64
+	for g := range zero {
+		zero[g] = make([]float64, 4)
+	}
+	first := math.Abs(net.Forward(in, false).Value - target)
+	for step := 0; step < 300; step++ {
+		o := net.Forward(in, true)
+		// loss = (target - V)^2, dL/dV = 2(V - target)
+		net.ZeroGrads()
+		net.Backward(zero, 0, 2*(o.Value-target))
+		sgd.Step(net)
+	}
+	last := math.Abs(net.Forward(in, false).Value - target)
+	if last >= first {
+		t.Fatalf("value error did not shrink: %v -> %v", first, last)
+	}
+	if last > 0.5 {
+		t.Fatalf("value error still large: %v", last)
+	}
+}
+
+func TestApplyGradsMatchesSGDStep(t *testing.T) {
+	a := NewPolicyValueNet(TestConfig(4), 20)
+	b := NewPolicyValueNet(TestConfig(4), 21)
+	b.SetWeights(a.GetWeights())
+	in := randomHopMatrix(rand.New(rand.NewSource(22)), 4)
+	var dl [4][]float64
+	for g := range dl {
+		dl[g] = []float64{0.1, -0.2, 0.3, 0}
+	}
+	// a: local SGD step.
+	a.ZeroGrads()
+	a.Forward(in, true)
+	a.Backward(dl, 0.5, -1)
+	grads := a.GetGrads()
+	SGD{LR: 0.01}.Step(a)
+	// b: apply the extracted flat gradients (the parameter-server path).
+	b.ApplyGrads(grads, 0.01, 0)
+	wa, wb := a.GetWeights(), b.GetWeights()
+	for i := range wa {
+		if math.Abs(wa[i]-wb[i]) > 1e-12 {
+			t.Fatalf("weight %d differs: %v vs %v", i, wa[i], wb[i])
+		}
+	}
+}
+
+func TestPoolsClampedForSmallInputs(t *testing.T) {
+	// N=2 -> input 4x4; three pools would erase it. Must not panic.
+	net := NewPolicyValueNet(Config{N: 2, BaseChannels: 1, Pools: 3}, 1)
+	out := net.Forward(randomHopMatrix(rand.New(rand.NewSource(1)), 2), false)
+	if len(out.CoordProbs[0]) != 2 {
+		t.Fatalf("bad output for N=2")
+	}
+}

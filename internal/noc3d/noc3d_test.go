@@ -1,0 +1,128 @@
+package noc3d
+
+import (
+	"testing"
+
+	"routerless/internal/search"
+)
+
+func TestCoordRoundTrip(t *testing.T) {
+	n, layers := 4, 3
+	for id := 0; id < n*n*layers; id++ {
+		c := CoordFromID(id, n)
+		if got := c.ID(n, layers); got != id {
+			t.Fatalf("id %d round-trips to %d (coord %+v)", id, got, c)
+		}
+	}
+}
+
+func TestBaseMeshHops(t *testing.T) {
+	// 2x2x1 is a 2x2 mesh: avg Manhattan distance over ordered pairs.
+	d := NewDesign(2, 1, DefaultConstraints(2, 1))
+	want := (1.0*8 + 2.0*4) / 12 // 8 pairs at dist 1, 4 diagonal at 2
+	if got := d.AvgHops(); got != want {
+		t.Fatalf("2x2 avg hops = %v, want %v", got, want)
+	}
+	// Adding a layer connects vertically.
+	d2 := NewDesign(2, 2, DefaultConstraints(2, 2))
+	if d2.Hop(0, 7) != 3 {
+		t.Fatalf("corner-to-opposite 2x2x2 = %d, want 3", d2.Hop(0, 7))
+	}
+}
+
+func TestAddLinkConstraints(t *testing.T) {
+	cons := Constraints{ExtraPorts: 1, MaxLen: 2, Budget: 2}
+	d := NewDesign(4, 1, cons)
+	// Too long: (0,0) to (3,3) is distance 6 > 2.
+	if err := d.AddLink(0, 15); err == nil {
+		t.Fatal("over-length link accepted")
+	}
+	// Existing mesh link rejected.
+	if err := d.AddLink(0, 1); err == nil {
+		t.Fatal("duplicate mesh link accepted")
+	}
+	// Valid diagonal shortcut (0,0)-(1,1): distance 2.
+	if err := d.AddLink(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Port cap: node 0 already used its one extra port.
+	if err := d.AddLink(0, 4+2); err == nil {
+		t.Fatal("port cap not enforced")
+	}
+	// Budget: one more allowed, then exhausted.
+	if err := d.AddLink(10, 15); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddLink(2, 7); err == nil {
+		t.Fatal("budget not enforced")
+	}
+}
+
+func TestAddLinkReducesHops(t *testing.T) {
+	cons := Constraints{ExtraPorts: 2, MaxLen: 6, Budget: 4}
+	d := NewDesign(4, 1, cons)
+	before := d.AvgHops()
+	if err := d.AddLink(0, 15); err != nil {
+		t.Fatal(err)
+	}
+	if after := d.AvgHops(); after >= before {
+		t.Fatalf("corner shortcut did not help: %v -> %v", before, after)
+	}
+	if d.Hop(0, 15) != 1 {
+		t.Fatalf("hop(0,15) = %d", d.Hop(0, 15))
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	d := NewDesign(3, 2, DefaultConstraints(3, 2))
+	c := d.Clone()
+	if err := c.AddLink(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Links()) != 0 || len(c.Links()) != 1 {
+		t.Fatal("clone shares links")
+	}
+}
+
+func TestExploreImprovesOnBaseMesh(t *testing.T) {
+	cfg := search.DefaultConfig()
+	cfg.Episodes = 8
+	cfg.Epsilon = 0.3
+	cfg.MaxSteps = 32
+	cons := Constraints{ExtraPorts: 2, MaxLen: 4, Budget: 6}
+	best, base, res := Explore(4, 2, cons, cfg)
+	if best == nil {
+		t.Fatal("no design found")
+	}
+	if best.AvgHops() >= base {
+		t.Fatalf("explored design %.3f not below base mesh %.3f", best.AvgHops(), base)
+	}
+	if res.Best.Final <= 0 {
+		t.Fatalf("best final reward %v", res.Best.Final)
+	}
+	// Constraints hold on the returned design.
+	for _, l := range best.Links() {
+		ca, cb := CoordFromID(l[0], 4), CoordFromID(l[1], 4)
+		if Dist3D(ca, cb) > cons.MaxLen {
+			t.Fatalf("link %v violates length cap", l)
+		}
+	}
+	if len(best.Links()) > cons.Budget {
+		t.Fatalf("budget exceeded: %d links", len(best.Links()))
+	}
+}
+
+func TestGreedyPicksDistantPair(t *testing.T) {
+	prob := Problem{N: 4, Layers: 1, Cons: Constraints{ExtraPorts: 2, MaxLen: 6, Budget: 3}}
+	e := prob.NewEpisode()
+	a, ok := prob.Greedy(e)
+	if !ok {
+		t.Fatal("no greedy action")
+	}
+	x, y := parseAction(a)
+	// The most distant pair on a 4x4 mesh is a corner pair at distance 6.
+	d := NewDesign(4, 1, prob.Cons)
+	if d.Hop(x, y) != 6 {
+		t.Fatalf("greedy chose pair at distance %d, want 6", d.Hop(x, y))
+	}
+}

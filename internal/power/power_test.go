@@ -1,0 +1,89 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAreaMatchesPublishedPoints(t *testing.T) {
+	p := DefaultParams()
+	// Fig. 15 anchors.
+	if got := p.RouterlessNodeArea(14); math.Abs(got-7981) > 1 {
+		t.Fatalf("area(14) = %v, want ≈7981", got)
+	}
+	if got := p.RouterlessNodeArea(10); math.Abs(got-5860) > 1 {
+		t.Fatalf("area(10) = %v, want ≈5860", got)
+	}
+	if p.MeshNodeArea() != 45278 {
+		t.Fatalf("mesh area = %v", p.MeshNodeArea())
+	}
+	// Paper: ~7.2x area reduction REC vs mesh.
+	ratio := p.MeshNodeArea() / p.RouterlessNodeArea(14)
+	if ratio < 4 || ratio > 8 {
+		t.Fatalf("area ratio = %v, want 4–8x", ratio)
+	}
+}
+
+func TestRepeaterAreaMatchesPublished(t *testing.T) {
+	p := DefaultParams()
+	// §6.6: 0.159 mm² across an 8x8 at cap 14.
+	total := p.RouterlessRepeaterArea(14) * 64
+	if math.Abs(total-159000) > 1000 {
+		t.Fatalf("repeater total = %v µm², want ≈159000", total)
+	}
+}
+
+func TestStaticMatchesPublished(t *testing.T) {
+	p := DefaultParams()
+	// Fig. 14: routerless static 0.23 mW (at cap 14, excluding the LUT
+	// which the paper reports separately at 0.028 mW); mesh 1.23 mW.
+	rl := p.RouterlessStatic(14)
+	if rl < 0.2 || rl > 0.3 {
+		t.Fatalf("routerless static = %v, want ≈0.23–0.26", rl)
+	}
+	if p.MeshStaticPower() != 1.23 {
+		t.Fatalf("mesh static = %v", p.MeshStaticPower())
+	}
+	// Static shrinks with tighter caps (Fig. 13's tradeoff).
+	if p.RouterlessStatic(10) >= p.RouterlessStatic(14) {
+		t.Fatal("static not monotone in cap")
+	}
+}
+
+func TestDynamicScalesWithActivity(t *testing.T) {
+	p := DefaultParams()
+	lo := Activity{FlitHopsPerNodeCycle: 0.05, FlitsPerNodeCycle: 0.01}
+	hi := Activity{FlitHopsPerNodeCycle: 0.5, FlitsPerNodeCycle: 0.1}
+	if p.RouterlessDynamic(lo) >= p.RouterlessDynamic(hi) {
+		t.Fatal("routerless dynamic not monotone")
+	}
+	if p.MeshDynamic(lo) >= p.MeshDynamic(hi) {
+		t.Fatal("mesh dynamic not monotone")
+	}
+	// Zero activity -> zero dynamic power.
+	if p.RouterlessDynamic(Activity{}) != 0 || p.MeshDynamic(Activity{}) != 0 {
+		t.Fatal("dynamic power nonzero at zero activity")
+	}
+}
+
+func TestMeshDynamicDominatesAtEqualActivity(t *testing.T) {
+	p := DefaultParams()
+	a := Activity{FlitHopsPerNodeCycle: 0.2, FlitsPerNodeCycle: 0.04}
+	ratio := p.MeshDynamic(a) / p.RouterlessDynamic(a)
+	// Fig. 14: dynamic for DRL is ~80% below mesh, i.e. mesh ≈ 5x.
+	if ratio < 3 || ratio > 8 {
+		t.Fatalf("mesh/routerless dynamic ratio = %v, want 3–8x", ratio)
+	}
+}
+
+func TestReportTotal(t *testing.T) {
+	p := DefaultParams()
+	r := p.Routerless(14, Activity{FlitHopsPerNodeCycle: 0.1, FlitsPerNodeCycle: 0.02})
+	if r.Total() != r.Static+r.Dynamic {
+		t.Fatal("Total broken")
+	}
+	m := p.Mesh(Activity{FlitHopsPerNodeCycle: 0.1, FlitsPerNodeCycle: 0.02})
+	if m.Total() <= r.Total() {
+		t.Fatalf("mesh total %v not above routerless %v at equal activity", m.Total(), r.Total())
+	}
+}

@@ -1,0 +1,92 @@
+package rl
+
+import (
+	"routerless/internal/nn"
+	"routerless/internal/topo"
+)
+
+// StepRecord is one trajectory element: the state observed, the action
+// taken, the immediate reward, and the network outputs at decision time.
+type StepRecord struct {
+	State  []float64
+	Action Action
+	Reward float64
+	// Out is the network evaluation used to choose the action (nil when
+	// the action came from greedy search or the tree; the trainer
+	// re-evaluates in that case).
+	Out *nn.Output
+}
+
+// Trajectory is an episode's step sequence plus its final return.
+type Trajectory struct {
+	Steps []StepRecord
+	// Final is the episode-final return (mesh hops − design hops).
+	Final float64
+}
+
+// A2C computes advantage actor-critic gradients (Eqs. 15–18) for a
+// trajectory and accumulates them into net's parameter gradients.
+type A2C struct {
+	// Gamma is the discount factor γ.
+	Gamma float64
+	// ValueCoeff scales the value-head loss (the paper's constant c in
+	// Eq. 20).
+	ValueCoeff float64
+}
+
+// DefaultA2C mirrors the paper's formulation with γ close to one.
+func DefaultA2C() A2C { return A2C{Gamma: 0.99, ValueCoeff: 0.5} }
+
+// Accumulate back-propagates the trajectory through net. Gradients are
+// summed into net's parameter gradient buffers; callers then apply them
+// locally (SGD.Step) or ship them to the parameter server (§4.6).
+// It returns the mean squared value error, a training-progress signal.
+func (a A2C) Accumulate(net *nn.PolicyValueNet, traj Trajectory) float64 {
+	n := len(traj.Steps)
+	if n == 0 {
+		return 0
+	}
+	// Discounted returns-to-go, seeding with the final return after the
+	// last step: G_t = r_t + γ G_{t+1}, G_n = Final.
+	returns := make([]float64, n)
+	g := traj.Final
+	for t := n - 1; t >= 0; t-- {
+		g = traj.Steps[t].Reward + a.Gamma*g
+		returns[t] = g
+	}
+
+	mse := 0.0
+	for t, s := range traj.Steps {
+		out := net.Forward(s.State, true)
+		adv := returns[t] - out.Value // A_t (Eq. 16)
+
+		// Policy gradient for the coordinate heads: for loss
+		// -A log π(a), d/dlogit_i = A (p_i - 1{i==a_g}).
+		var dLogits [4][]float64
+		chosen := [4]int{s.Action.X1, s.Action.Y1, s.Action.X2, s.Action.Y2}
+		for gi := 0; gi < 4; gi++ {
+			dl := make([]float64, len(out.CoordProbs[gi]))
+			for i, p := range out.CoordProbs[gi] {
+				dl[i] = adv * p
+			}
+			dl[chosen[gi]] -= adv
+			dLogits[gi] = dl
+		}
+		// Direction head: the tanh output maps to P(clockwise) =
+		// (1+Dir)/2. For loss -A log P(chosen):
+		//   clockwise:        d/dz = -A (1 - Dir)
+		//   counterclockwise: d/dz = +A (1 + Dir)
+		var dDir float64
+		if s.Action.Dir == topo.Clockwise {
+			dDir = -adv * (1 - out.Dir)
+		} else {
+			dDir = adv * (1 + out.Dir)
+		}
+		// Value head: loss c·(G - V)², d/dV = 2c(V - G) (Eq. 18).
+		dValue := 2 * a.ValueCoeff * (out.Value - returns[t])
+		mse += (out.Value - returns[t]) * (out.Value - returns[t])
+
+		net.Backward(dLogits, dDir, dValue)
+	}
+	return mse / float64(n)
+}

@@ -1,0 +1,128 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"routerless/internal/nn"
+	"routerless/internal/topo"
+)
+
+func smallTraj(e *Env) Trajectory {
+	var traj Trajectory
+	actions := []Action{
+		{0, 0, 3, 3, topo.Clockwise},
+		{0, 0, 3, 3, topo.Clockwise}, // repetitive, reward -1
+		{0, 0, 1, 1, topo.Counterclockwise},
+	}
+	for _, a := range actions {
+		st := e.State()
+		r, _ := e.Step(a)
+		traj.Steps = append(traj.Steps, StepRecord{State: st, Action: a, Reward: r})
+	}
+	traj.Final = e.FinalReward()
+	return traj
+}
+
+func TestA2CAccumulatesGradients(t *testing.T) {
+	e := NewEnv(4, 6)
+	traj := smallTraj(e)
+	net := nn.NewPolicyValueNet(nn.TestConfig(4), 3)
+	net.ZeroGrads()
+	mse := DefaultA2C().Accumulate(net, traj)
+	if mse <= 0 {
+		t.Fatalf("mse = %v, want > 0 for an untrained net", mse)
+	}
+	nonzero := 0
+	for _, g := range net.GetGrads() {
+		if g != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("no gradients accumulated")
+	}
+}
+
+func TestA2CEmptyTrajectory(t *testing.T) {
+	net := nn.NewPolicyValueNet(nn.TestConfig(4), 3)
+	if got := DefaultA2C().Accumulate(net, Trajectory{}); got != 0 {
+		t.Fatalf("empty trajectory mse = %v", got)
+	}
+}
+
+// Training on the same trajectory repeatedly must reduce the value error:
+// the critic learns the returns.
+func TestA2CValueLearning(t *testing.T) {
+	e := NewEnv(4, 6)
+	traj := smallTraj(e)
+	net := nn.NewPolicyValueNet(nn.TestConfig(4), 5)
+	a2c := DefaultA2C()
+	sgd := nn.SGD{LR: 5e-3, Clip: 1}
+	first := -1.0
+	var last float64
+	for i := 0; i < 40; i++ {
+		net.ZeroGrads()
+		last = a2c.Accumulate(net, traj)
+		if first < 0 {
+			first = last
+		}
+		sgd.Step(net)
+	}
+	if last >= first {
+		t.Fatalf("value MSE did not decrease: %v -> %v", first, last)
+	}
+}
+
+// The advantage sign must steer the policy: positive advantage increases
+// the chosen action's probability.
+func TestA2CPolicyDirection(t *testing.T) {
+	e := NewEnv(4, 6)
+	st := e.State()
+	act := Action{1, 1, 2, 2, topo.Clockwise}
+	net := nn.NewPolicyValueNet(nn.TestConfig(4), 7)
+	prob := func() float64 {
+		o := net.Forward(st, false)
+		return o.CoordProbs[0][act.X1] * o.CoordProbs[1][act.Y1] *
+			o.CoordProbs[2][act.X2] * o.CoordProbs[3][act.Y2] * (1 + o.Dir) / 2
+	}
+	before := prob()
+	// A trajectory with a large positive final reward for this action.
+	traj := Trajectory{
+		Steps: []StepRecord{{State: st, Action: act, Reward: 0}},
+		Final: 50, // >> value estimate -> positive advantage
+	}
+	a2c := DefaultA2C()
+	sgd := nn.SGD{LR: 2e-3, Clip: 1}
+	for i := 0; i < 30; i++ {
+		net.ZeroGrads()
+		a2c.Accumulate(net, traj)
+		sgd.Step(net)
+	}
+	after := prob()
+	if after <= before {
+		t.Fatalf("positive advantage decreased action probability: %v -> %v", before, after)
+	}
+}
+
+func TestA2CDiscounting(t *testing.T) {
+	// With gamma = 0 only the immediate reward matters; the value target
+	// for the last step is r + 0*Final = r.
+	e := NewEnv(4, 6)
+	traj := smallTraj(e)
+	net := nn.NewPolicyValueNet(nn.TestConfig(4), 9)
+	a := A2C{Gamma: 0, ValueCoeff: 0.5}
+	sgd := nn.SGD{LR: 5e-3, Clip: 1}
+	for i := 0; i < 80; i++ {
+		net.ZeroGrads()
+		a.Accumulate(net, traj)
+		sgd.Step(net)
+	}
+	// After training, V(s_last) should approach r_last + 0 = -1? The last
+	// step was valid (reward 0)... verify against computed target.
+	want := traj.Steps[len(traj.Steps)-1].Reward
+	got := net.Forward(traj.Steps[len(traj.Steps)-1].State, false).Value
+	if math.Abs(got-want) > 1.0 {
+		t.Fatalf("gamma=0 value = %v, want near %v", got, want)
+	}
+}

@@ -1,0 +1,235 @@
+// Package rl defines the reinforcement-learning formulation of routerless
+// NoC design from §4.2–§4.4 of the paper: states are hop-count matrices,
+// actions add rectangular loops, rewards penalize repetitive, invalid and
+// illegal additions, and the final return compares the finished design's
+// average hop count against mesh. It also provides the advantage
+// actor-critic gradient computation (Eqs. 15–20) and the greedy loop
+// search of Algorithm 1.
+package rl
+
+import (
+	"fmt"
+
+	"routerless/internal/mesh"
+	"routerless/internal/topo"
+)
+
+// Action encodes a loop addition (x1, y1, x2, y2, dir) per §4.2. x selects
+// a row and y a column; Dir = 1 (clockwise) or 0 (counterclockwise),
+// matching the paper's action tuple.
+type Action struct {
+	X1, Y1, X2, Y2 int
+	Dir            topo.Direction
+}
+
+// Loop converts the action to a normalized loop. The boolean is false when
+// the rectangle is degenerate (an invalid action).
+func (a Action) Loop() (topo.Loop, bool) {
+	l, err := topo.NewLoop(a.X1, a.Y1, a.X2, a.Y2, a.Dir)
+	if err != nil {
+		return topo.Loop{}, false
+	}
+	return l, true
+}
+
+// String renders the tuple.
+func (a Action) String() string {
+	return fmt.Sprintf("(%d,%d,%d,%d,%s)", a.X1, a.Y1, a.X2, a.Y2, a.Dir)
+}
+
+// ActionKind classifies the outcome of Env.Step per §4.3.
+type ActionKind int
+
+// Step outcomes.
+const (
+	Valid      ActionKind = iota // loop added, reward 0
+	Repetitive                   // duplicate loop, reward -1
+	Invalid                      // non-rectangular loop, reward -1
+	Illegal                      // node-overlap violation, reward -5N
+)
+
+// String names the outcome.
+func (k ActionKind) String() string {
+	switch k {
+	case Valid:
+		return "valid"
+	case Repetitive:
+		return "repetitive"
+	case Invalid:
+		return "invalid"
+	case Illegal:
+		return "illegal"
+	}
+	return "unknown"
+}
+
+// Env is the routerless NoC design environment.
+type Env struct {
+	N          int
+	OverlapCap int
+	// IllegalPenalty is the reward for overlap-violating actions
+	// (default −5N per §4.3). The reward-shaping ablation weakens it.
+	IllegalPenalty float64
+	// MaxLoopLen, when > 0, forbids loops whose perimeter exceeds it —
+	// one of the additional constraints §6.2 proposes integrating into
+	// the framework ("such as maximum loop length"). Violations are
+	// illegal actions.
+	MaxLoopLen int
+
+	topo     *topo.Topology
+	meshHops float64
+}
+
+// NewEnv creates a blank N×N design environment under the given node
+// overlapping cap (0 = unconstrained).
+func NewEnv(n, overlapCap int) *Env {
+	e := &Env{
+		N: n, OverlapCap: overlapCap,
+		IllegalPenalty: -5 * float64(n),
+		meshHops:       mesh.AverageHops(n, n),
+	}
+	e.Reset()
+	return e
+}
+
+// NewEnvFrom builds an environment seeded with an existing design (e.g. a
+// constructive baseline that further exploration should improve). The
+// topology is cloned; the cap applies to future additions only.
+func NewEnvFrom(t *topo.Topology, overlapCap int) *Env {
+	if t.Rows() != t.Cols() {
+		panic("rl: NewEnvFrom requires a square topology")
+	}
+	e := NewEnv(t.Rows(), overlapCap)
+	e.topo = t.Clone()
+	e.topo.SetOverlapCap(overlapCap)
+	return e
+}
+
+// Reset clears the design back to a fully disconnected NoC.
+func (e *Env) Reset() {
+	e.topo = topo.NewSquare(e.N, e.OverlapCap)
+}
+
+// Topology exposes the design under construction (callers must not
+// mutate it directly).
+func (e *Env) Topology() *topo.Topology { return e.topo }
+
+// Clone deep-copies the environment.
+func (e *Env) Clone() *Env {
+	return &Env{
+		N: e.N, OverlapCap: e.OverlapCap,
+		IllegalPenalty: e.IllegalPenalty,
+		topo:           e.topo.Clone(), meshHops: e.meshHops,
+	}
+}
+
+// State returns the hop-count matrix encoding (§4.2).
+func (e *Env) State() []float64 { return e.topo.HopMatrix() }
+
+// Fingerprint keys the current design for MCTS node lookup.
+func (e *Env) Fingerprint() string { return e.topo.Fingerprint() }
+
+// MeshHops returns the reward reference: the mesh average hop count.
+func (e *Env) MeshHops() float64 { return e.meshHops }
+
+// allowed reports whether l obeys the environment's extra constraints
+// beyond what the topology enforces (currently MaxLoopLen).
+func (e *Env) allowed(l topo.Loop) bool {
+	return e.MaxLoopLen <= 0 || l.Len() <= e.MaxLoopLen
+}
+
+// Legal reports whether the action would be a Valid step right now.
+func (e *Env) Legal(a Action) bool {
+	l, ok := a.Loop()
+	return ok && e.allowed(l) && e.topo.CheckAdd(l) == nil
+}
+
+// Step applies an action and returns the immediate reward and its
+// classification. Only Valid actions mutate the design.
+func (e *Env) Step(a Action) (reward float64, kind ActionKind) {
+	l, ok := a.Loop()
+	if !ok {
+		return -1, Invalid
+	}
+	if !e.allowed(l) {
+		return e.IllegalPenalty, Illegal
+	}
+	switch err := e.topo.AddLoop(l); err {
+	case nil:
+		return 0, Valid
+	case topo.ErrRepetitive:
+		return -1, Repetitive
+	case topo.ErrIllegal:
+		return e.IllegalPenalty, Illegal
+	default: // out of bounds is an invalid rectangle specification
+		return -1, Invalid
+	}
+}
+
+// LegalActions enumerates every loop addition currently allowed. Both
+// directions of each placeable rectangle are included; rectangles already
+// present in one direction remain legal in the other.
+func (e *Env) LegalActions() []Action {
+	var out []Action
+	for x1 := 0; x1 < e.N-1; x1++ {
+		for y1 := 0; y1 < e.N-1; y1++ {
+			for x2 := x1 + 1; x2 < e.N; x2++ {
+				for y2 := y1 + 1; y2 < e.N; y2++ {
+					for _, dir := range []topo.Direction{topo.Clockwise, topo.Counterclockwise} {
+						l := topo.MustLoop(x1, y1, x2, y2, dir)
+						if e.allowed(l) && e.topo.CheckAdd(l) == nil {
+							out = append(out, Action{x1, y1, x2, y2, dir})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// HasLegalAction reports whether any loop can still be added. It is the
+// episode-termination predicate: "loops are added until no more can be
+// added without violating constraints".
+func (e *Env) HasLegalAction() bool {
+	for x1 := 0; x1 < e.N-1; x1++ {
+		for y1 := 0; y1 < e.N-1; y1++ {
+			for x2 := x1 + 1; x2 < e.N; x2++ {
+				for y2 := y1 + 1; y2 < e.N; y2++ {
+					for _, dir := range []topo.Direction{topo.Clockwise, topo.Counterclockwise} {
+						l := topo.MustLoop(x1, y1, x2, y2, dir)
+						if e.allowed(l) && e.topo.CheckAdd(l) == nil {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// AverageHops returns the design's average hop count with unconnected
+// pairs charged the 5N sentinel, so connectivity gaps dominate the metric
+// exactly as they dominate the state encoding.
+func (e *Env) AverageHops() float64 {
+	mean, un := e.topo.AverageHops()
+	n := e.topo.N()
+	pairs := n * (n - 1)
+	if pairs == 0 {
+		return 0
+	}
+	connected := pairs - un
+	total := mean*float64(connected) + topo.UnconnectedHops(e.N, e.N)*float64(un)
+	return total / float64(pairs)
+}
+
+// FinalReward is the episode-final return (§4.3): mesh average hop count
+// minus the design's average hop count. Maximizing it minimizes hop count;
+// a fully connected design near mesh performance approaches zero.
+func (e *Env) FinalReward() float64 {
+	return e.meshHops - e.AverageHops()
+}
+
+// FullyConnected reports whether the current design is complete.
+func (e *Env) FullyConnected() bool { return e.topo.FullyConnected() }

@@ -1,0 +1,146 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"routerless/internal/mesh"
+	"routerless/internal/topo"
+)
+
+func TestActionLoopConversion(t *testing.T) {
+	a := Action{X1: 0, Y1: 0, X2: 2, Y2: 3, Dir: topo.Clockwise}
+	l, ok := a.Loop()
+	if !ok || l.R2 != 2 || l.C2 != 3 {
+		t.Fatalf("loop = %v ok=%v", l, ok)
+	}
+	// Degenerate rectangle -> invalid.
+	if _, ok := (Action{X1: 1, Y1: 0, X2: 1, Y2: 3}).Loop(); ok {
+		t.Fatal("degenerate action converted")
+	}
+}
+
+func TestStepRewards(t *testing.T) {
+	e := NewEnv(4, 2)
+	// Valid.
+	r, kind := e.Step(Action{0, 0, 3, 3, topo.Clockwise})
+	if r != 0 || kind != Valid {
+		t.Fatalf("valid: r=%v kind=%v", r, kind)
+	}
+	// Repetitive.
+	r, kind = e.Step(Action{0, 0, 3, 3, topo.Clockwise})
+	if r != -1 || kind != Repetitive {
+		t.Fatalf("repetitive: r=%v kind=%v", r, kind)
+	}
+	// Invalid (degenerate).
+	r, kind = e.Step(Action{0, 0, 0, 3, topo.Clockwise})
+	if r != -1 || kind != Invalid {
+		t.Fatalf("invalid: r=%v kind=%v", r, kind)
+	}
+	// Fill the cap at the perimeter, then go illegal.
+	if _, kind = e.Step(Action{0, 0, 3, 3, topo.Counterclockwise}); kind != Valid {
+		t.Fatal("second direction should be valid")
+	}
+	r, kind = e.Step(Action{0, 0, 2, 2, topo.Clockwise})
+	if kind != Illegal || r != -5*4 {
+		t.Fatalf("illegal: r=%v kind=%v, want -20/Illegal", r, kind)
+	}
+	// Out-of-bounds rectangles are invalid specifications.
+	_, kind = e.Step(Action{0, 0, 4, 4, topo.Clockwise})
+	if kind != Invalid {
+		t.Fatalf("out of bounds kind = %v", kind)
+	}
+}
+
+func TestStepOnlyValidMutates(t *testing.T) {
+	e := NewEnv(4, 2)
+	e.Step(Action{0, 0, 3, 3, topo.Clockwise})
+	before := e.Topology().NumLoops()
+	e.Step(Action{0, 0, 3, 3, topo.Clockwise}) // repetitive
+	e.Step(Action{0, 0, 0, 3, topo.Clockwise}) // invalid
+	if e.Topology().NumLoops() != before {
+		t.Fatal("penalized action mutated the design")
+	}
+}
+
+func TestFinalRewardMatchesMeshReference(t *testing.T) {
+	e := NewEnv(2, 0)
+	e.Step(Action{0, 0, 1, 1, topo.Clockwise})
+	// 2x2 single CW loop: avg hops 2; mesh avg = AverageHops(2,2) = 4/3.
+	want := mesh.AverageHops(2, 2) - 2
+	if math.Abs(e.FinalReward()-want) > 1e-12 {
+		t.Fatalf("final = %v, want %v", e.FinalReward(), want)
+	}
+}
+
+func TestAverageHopsChargesSentinel(t *testing.T) {
+	e := NewEnv(4, 0)
+	// Empty design: all 240 ordered pairs unconnected -> sentinel 20.
+	if got := e.AverageHops(); got != 20 {
+		t.Fatalf("blank avg hops = %v, want 20", got)
+	}
+	if e.FinalReward() >= 0 {
+		t.Fatal("blank design should have strongly negative final reward")
+	}
+}
+
+func TestLegalActionsShrinkWithCap(t *testing.T) {
+	e := NewEnv(4, 1)
+	all := len(e.LegalActions())
+	// 4x4: C(4,2)^2 rectangles = 36, both directions = 72.
+	if all != 72 {
+		t.Fatalf("blank legal actions = %d, want 72", all)
+	}
+	e.Step(Action{0, 0, 3, 3, topo.Clockwise})
+	after := len(e.LegalActions())
+	if after >= all {
+		t.Fatalf("legal actions did not shrink: %d -> %d", all, after)
+	}
+	if !e.HasLegalAction() {
+		t.Fatal("interior rectangles should remain legal")
+	}
+}
+
+func TestHasLegalActionExhaustion(t *testing.T) {
+	e := NewEnv(2, 1)
+	e.Step(Action{0, 0, 1, 1, topo.Clockwise})
+	if e.HasLegalAction() {
+		t.Fatal("cap 1 on 2x2 should be exhausted after one loop")
+	}
+	if len(e.LegalActions()) != 0 {
+		t.Fatal("LegalActions disagrees with HasLegalAction")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	e := NewEnv(4, 6)
+	e.Step(Action{0, 0, 3, 3, topo.Clockwise})
+	c := e.Clone()
+	c.Step(Action{0, 0, 1, 1, topo.Clockwise})
+	if e.Topology().NumLoops() != 1 || c.Topology().NumLoops() != 2 {
+		t.Fatal("clone shares topology")
+	}
+}
+
+func TestStateMatchesTopologyHopMatrix(t *testing.T) {
+	e := NewEnv(3, 0)
+	e.Step(Action{0, 0, 2, 2, topo.Clockwise})
+	s := e.State()
+	m := e.Topology().HopMatrix()
+	if len(s) != len(m) {
+		t.Fatal("length mismatch")
+	}
+	for i := range s {
+		if s[i] != m[i] {
+			t.Fatal("state differs from hop matrix")
+		}
+	}
+}
+
+func TestActionKindString(t *testing.T) {
+	for k, want := range map[ActionKind]string{Valid: "valid", Repetitive: "repetitive", Invalid: "invalid", Illegal: "illegal"} {
+		if k.String() != want {
+			t.Errorf("%d -> %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package rl
+
+import (
+	"routerless/internal/topo"
+)
+
+// GreedyResult reports the outcome of one Algorithm 1 scan.
+type GreedyResult struct {
+	Action Action
+	// NewPairs is CheckCount for the chosen loop: ordered pairs newly
+	// connected.
+	NewPairs int
+	// Gain is the hop-count improvement metric of Imprv.
+	Gain float64
+	// OK is false when no legal loop exists.
+	OK bool
+}
+
+// Greedy implements Algorithm 1 of the paper: scan every rectangle, prefer
+// the loop that newly connects the most node pairs (CheckCount); break
+// ties by the average-hop-count improvement (Imprv), which also selects
+// the loop direction. It returns false when no legal loop exists.
+func Greedy(e *Env) (Action, bool) {
+	r := GreedySearch(e)
+	return r.Action, r.OK
+}
+
+// GreedySearch is Greedy with the winning loop's metrics exposed, letting
+// callers trim exploration branches whose best remaining addition is
+// useless (§3.2, "Guided Design Space Search").
+func GreedySearch(e *Env) GreedyResult {
+	bestLoop := Action{}
+	bestCount := -1
+	bestImprv := 0.0
+	found := false
+	for x1 := 0; x1 < e.N-1; x1++ {
+		for y1 := 0; y1 < e.N-1; y1++ {
+			for x2 := x1 + 1; x2 < e.N; x2++ {
+				for y2 := y1 + 1; y2 < e.N; y2++ {
+					cw := topo.MustLoop(x1, y1, x2, y2, topo.Clockwise)
+					ccw := topo.MustLoop(x1, y1, x2, y2, topo.Counterclockwise)
+					if !e.allowed(cw) {
+						continue
+					}
+					cwOK := e.topo.CheckAdd(cw) == nil
+					ccwOK := e.topo.CheckAdd(ccw) == nil
+					if !cwOK && !ccwOK {
+						continue
+					}
+					count := CheckCount(e.topo, cw)
+					if count < bestCount {
+						continue
+					}
+					imprv, dir := Imprv(e.topo, cw, cwOK, ccwOK)
+					if count > bestCount || imprv > bestImprv {
+						bestCount = count
+						bestImprv = imprv
+						bestLoop = Action{x1, y1, x2, y2, dir}
+						found = true
+					}
+				}
+			}
+		}
+	}
+	return GreedyResult{Action: bestLoop, NewPairs: bestCount, Gain: bestImprv, OK: found}
+}
+
+// CheckCount returns the number of ordered node pairs newly connected by
+// adding the rectangle of loop l (direction-independent: a loop connects
+// the same pairs either way).
+func CheckCount(t *topo.Topology, l topo.Loop) int {
+	nodes := l.Nodes()
+	count := 0
+	for _, u := range nodes {
+		for _, v := range nodes {
+			if u == v {
+				continue
+			}
+			if t.Dist(u, v) < 0 {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// Imprv evaluates the average-hop-count benefit of adding loop l in each
+// permitted direction and returns the larger improvement with its
+// direction. Improvement sums, over the loop's perimeter pairs, the
+// distance reduction relative to the current design (unconnected pairs
+// count as the 5N sentinel).
+func Imprv(t *topo.Topology, l topo.Loop, cwOK, ccwOK bool) (float64, topo.Direction) {
+	nodes := l.Nodes()
+	sentinel := topo.UnconnectedHops(t.Rows(), t.Cols())
+	evaluate := func(dir topo.Direction) float64 {
+		ld := l
+		ld.Dir = dir
+		sum := 0.0
+		for _, u := range nodes {
+			for _, v := range nodes {
+				if u == v {
+					continue
+				}
+				cur := float64(t.Dist(u, v))
+				if cur < 0 {
+					cur = sentinel
+				}
+				nd := float64(ld.Dist(u, v))
+				if nd < cur {
+					sum += cur - nd
+				}
+			}
+		}
+		return sum
+	}
+	switch {
+	case cwOK && ccwOK:
+		icw := evaluate(topo.Clockwise)
+		iccw := evaluate(topo.Counterclockwise)
+		if iccw > icw {
+			return iccw, topo.Counterclockwise
+		}
+		return icw, topo.Clockwise
+	case cwOK:
+		return evaluate(topo.Clockwise), topo.Clockwise
+	default:
+		return evaluate(topo.Counterclockwise), topo.Counterclockwise
+	}
+}
+
+// GreedyComplete drives Greedy until no legal loop remains, returning the
+// number of loops added. It is the pure-heuristic baseline (and the
+// fallback used when DRL exploration exhausts its penalty budget).
+func GreedyComplete(e *Env) int {
+	return GreedyImprove(e, -1, 0)
+}
+
+// GreedyImprove drives Greedy until the design stops improving: while not
+// fully connected every addition helps; once connected, additions continue
+// only while they reduce average hops by at least minGain, ending after
+// patience consecutive no-gain additions. minGain < 0 disables the early
+// stop (run to wiring exhaustion). It returns the number of loops added.
+func GreedyImprove(e *Env, minGain float64, patience int) int {
+	added := 0
+	noGain := 0
+	prev := e.AverageHops()
+	for {
+		a, ok := Greedy(e)
+		if !ok {
+			return added
+		}
+		if _, kind := e.Step(a); kind != Valid {
+			// Greedy only proposes checked loops; a non-valid outcome
+			// indicates an internal inconsistency.
+			panic("rl: greedy proposed an unplayable action")
+		}
+		added++
+		if minGain < 0 {
+			continue
+		}
+		h := e.AverageHops()
+		if e.FullyConnected() && prev-h < minGain {
+			noGain++
+		} else {
+			noGain = 0
+		}
+		prev = h
+		if patience > 0 && noGain >= patience {
+			return added
+		}
+	}
+}

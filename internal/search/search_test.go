@@ -1,0 +1,145 @@
+package search
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+// counterEnv is a toy problem: pick digits; final reward is the sum, but
+// any digit above Limit is penalized. The optimum is to always pick Limit.
+type counterEnv struct {
+	picks []int
+	limit int
+	steps int
+}
+
+func (e *counterEnv) Fingerprint() string { return fmt.Sprint(e.picks) }
+
+func (e *counterEnv) Actions() []string {
+	out := make([]string, 10)
+	for i := range out {
+		out[i] = strconv.Itoa(i)
+	}
+	return out
+}
+
+func (e *counterEnv) Step(a string) float64 {
+	v, _ := strconv.Atoi(a)
+	e.picks = append(e.picks, v)
+	if v > e.limit {
+		return -5
+	}
+	return 0
+}
+
+func (e *counterEnv) Done() bool { return len(e.picks) >= e.steps }
+
+func (e *counterEnv) FinalReward() float64 {
+	s := 0.0
+	for _, v := range e.picks {
+		if v <= e.limit {
+			s += float64(v)
+		}
+	}
+	return s
+}
+
+type counterProblem struct{ limit, steps int }
+
+func (p counterProblem) NewEpisode() Environment {
+	return &counterEnv{limit: p.limit, steps: p.steps}
+}
+
+func (p counterProblem) Greedy(env Environment) (string, bool) {
+	return strconv.Itoa(p.limit), true
+}
+
+func (p counterProblem) Priors(env Environment, actions []string) []float64 {
+	return nil // uniform
+}
+
+func TestSearcherFindsGoodEpisodes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Episodes = 60
+	cfg.Epsilon = 0.2
+	cfg.MaxSteps = 8
+	prob := counterProblem{limit: 6, steps: 3}
+	res := New(cfg, prob).Run()
+	if len(res.Outcomes) != 60 {
+		t.Fatalf("episodes = %d", len(res.Outcomes))
+	}
+	// Optimal final is 18 (three sixes); the search should get close.
+	if res.Best.Final < 14 {
+		t.Fatalf("best final = %v, want >= 14", res.Best.Final)
+	}
+	if res.TreeSize == 0 {
+		t.Fatal("tree never expanded")
+	}
+}
+
+func TestSearcherLearningImproves(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Episodes = 200
+	cfg.Epsilon = 0 // pure tree/prior guidance
+	// The exploration constant must be scaled to the reward magnitude
+	// (final rewards reach 18 here) or UCB exploits a single branch.
+	cfg.CPuct = 25
+	cfg.MaxSteps = 4
+	res := New(cfg, counterProblem{limit: 9, steps: 2}).Run()
+	// Mean of the last quarter should beat the first quarter: the tree
+	// steers toward high-return branches.
+	q := len(res.Outcomes) / 4
+	first, last := 0.0, 0.0
+	for i := 0; i < q; i++ {
+		first += res.Outcomes[i].Final
+		last += res.Outcomes[len(res.Outcomes)-1-i].Final
+	}
+	if last <= first {
+		t.Fatalf("no improvement: first quarter %v vs last %v", first/float64(q), last/float64(q))
+	}
+}
+
+func TestSearcherOnBestMonotone(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Episodes = 30
+	cfg.MaxSteps = 3
+	s := New(cfg, counterProblem{limit: 5, steps: 2})
+	var bests []float64
+	s.OnBest(func(env Environment, out Outcome) {
+		bests = append(bests, out.Final)
+	})
+	s.Run()
+	if len(bests) == 0 {
+		t.Fatal("OnBest never fired")
+	}
+	for i := 1; i < len(bests); i++ {
+		if bests[i] <= bests[i-1] {
+			t.Fatalf("OnBest not strictly improving: %v", bests)
+		}
+	}
+}
+
+func TestSearcherMultiThreaded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Episodes = 16
+	cfg.Threads = 4
+	cfg.MaxSteps = 3
+	res := New(cfg, counterProblem{limit: 4, steps: 2}).Run()
+	if len(res.Outcomes) != 16 {
+		t.Fatalf("episodes = %d under threads", len(res.Outcomes))
+	}
+}
+
+func TestSearcherDeterministicSingleThread(t *testing.T) {
+	mk := func() *Result {
+		cfg := DefaultConfig()
+		cfg.Episodes = 12
+		cfg.MaxSteps = 3
+		return New(cfg, counterProblem{limit: 7, steps: 2}).Run()
+	}
+	a, b := mk(), mk()
+	if a.Best.Final != b.Best.Final || len(a.Outcomes) != len(b.Outcomes) {
+		t.Fatal("single-threaded search not deterministic")
+	}
+}

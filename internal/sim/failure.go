@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"fmt"
+
+	"routerless/internal/topo"
+)
+
+// FailLoop marks a loop as failed: a broken link anywhere on a
+// unidirectional ring disables the whole ring, so routing is rebuilt to
+// avoid it (§6.7's reliability discussion). Flits circulating on the
+// failed loop are dropped (counted in DroppedFlits) and their packets can
+// never complete; queued packets are re-routed onto surviving loops when
+// possible and dropped otherwise. Whether the degraded network remains
+// fully connected can be checked via Degraded().
+func (r *Ring) FailLoop(idx int) {
+	if idx < 0 || idx >= len(r.loops) {
+		panic(fmt.Sprintf("sim: FailLoop index %d out of range", idx))
+	}
+	if r.failed == nil {
+		r.failed = make(map[int]bool)
+	}
+	if r.failed[idx] {
+		return
+	}
+	r.failed[idx] = true
+
+	// Drop in-flight flits on the failed loop; their packets are lost.
+	ls := r.loops[idx]
+	for i, f := range ls.slot {
+		if f == nil {
+			continue
+		}
+		r.droppedFlits++
+		if f.pkt.remaining > 0 {
+			r.inFlight--
+			f.pkt.remaining = -1 // failed marker; Done stays -1
+		}
+		ls.slot[i] = nil
+	}
+
+	// Rebuild routing around the failure.
+	r.rt = topo.BuildRoutingTableExcluding(r.topo, r.failed)
+
+	// Re-route or drop packets still queued at source NIs.
+	for n := range r.srcQueue {
+		var keep []*injecting
+		for _, inj := range r.srcQueue[n] {
+			if !r.failed[inj.loopIdx] {
+				keep = append(keep, inj)
+				continue
+			}
+			if inj.sent > 0 || inj.pkt.remaining <= 0 {
+				// Partially on the failed loop: lost.
+				r.droppedFlits += int64(inj.pkt.NumFlits - inj.sent)
+				if inj.pkt.remaining > 0 {
+					r.inFlight--
+					inj.pkt.remaining = -1
+				}
+				continue
+			}
+			src := topo.NodeFromID(inj.pkt.Src, r.topo.Cols())
+			dst := topo.NodeFromID(inj.pkt.Dst, r.topo.Cols())
+			li := r.rt.Loop(src, dst)
+			if li < 0 {
+				r.droppedFlits += int64(inj.pkt.NumFlits)
+				r.inFlight--
+				inj.pkt.remaining = -1
+				continue
+			}
+			inj.loopIdx = li
+			inj.distance = r.rt.Dist(src, dst)
+			keep = append(keep, inj)
+		}
+		r.srcQueue[n] = keep
+	}
+}
+
+// Degraded returns the routing table currently in effect (reflecting any
+// failed loops).
+func (r *Ring) Degraded() *topo.RoutingTable { return r.rt }
+
+// DroppedFlits returns the number of flits lost to loop failures.
+func (r *Ring) DroppedFlits() int64 { return r.droppedFlits }

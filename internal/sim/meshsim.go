@@ -1,0 +1,369 @@
+package sim
+
+import (
+	"container/list"
+
+	"routerless/internal/mesh"
+	"routerless/internal/topo"
+)
+
+// MeshConfig parameterizes the router-based mesh model, matching the
+// paper's setup (§5): 2 VCs per link, 4-flit input buffers, and a router
+// pipeline depth of 2 (Mesh-2), 1 (Mesh-1) or 0 (Mesh-0, the "ideal"
+// router with only link/contention delays).
+type MeshConfig struct {
+	VCs         int
+	BufferFlits int
+	RouterDelay int // pipeline cycles per router
+}
+
+// MeshN returns the paper's Mesh-N configuration (N = router delay).
+func MeshN(delay int) MeshConfig {
+	return MeshConfig{VCs: 2, BufferFlits: 4, RouterDelay: delay}
+}
+
+// meshFlit is a flit inside the mesh network.
+type meshFlit struct {
+	pkt  *Packet
+	head bool
+	tail bool
+	hops int
+	dst  topo.Node
+}
+
+// vcState is one virtual channel at one input port.
+type vcState struct {
+	fifo *list.List // of *meshFlit
+	// allocated output for the packet currently using this VC
+	// (wormhole: decided at the head flit, held until the tail leaves).
+	active  bool
+	outPort mesh.Port
+	outVC   int
+}
+
+// inputPort groups the VCs of one router input.
+type inputPort struct {
+	vcs []*vcState
+}
+
+// router is one mesh router.
+type router struct {
+	node   topo.Node
+	inputs [mesh.NumPorts]*inputPort
+	// credits[port][vc] = free buffer slots at the downstream input.
+	credits [mesh.NumPorts][]int
+	// downVCBusy[port][vc] = downstream VC currently owned by a packet.
+	downVCBusy [mesh.NumPorts][]bool
+	// rrIn round-robin pointer per output port for switch arbitration.
+	rrIn [mesh.NumPorts]int
+}
+
+// delivery is a flit in transit through the router pipeline + link.
+type delivery struct {
+	at     int // arrival cycle
+	flit   *meshFlit
+	toNode int // destination router node ID
+	toPort mesh.Port
+	toVC   int
+}
+
+// Mesh is the cycle-accurate router-based mesh simulator.
+type Mesh struct {
+	rows, cols int
+	cfg        MeshConfig
+	routers    []*router
+	// pipe holds flits traversing pipeline+link, ordered FIFO per edge by
+	// construction (arrival times are monotone per VC).
+	pipe []delivery
+
+	srcQueue  [][]*Packet
+	srcSent   []int // flits of head packet already injected
+	srcVC     []int // local VC chosen for the head packet mid-injection
+	cycle     int
+	inFlight  int
+	util      int64
+	utilSamps int64
+}
+
+// NewMesh builds a rows×cols mesh of VC wormhole routers.
+func NewMesh(rows, cols int, cfg MeshConfig) *Mesh {
+	if cfg.VCs < 1 || cfg.BufferFlits < 1 || cfg.RouterDelay < 0 {
+		panic("sim: invalid MeshConfig")
+	}
+	m := &Mesh{
+		rows: rows, cols: cols, cfg: cfg,
+		srcQueue: make([][]*Packet, rows*cols),
+		srcSent:  make([]int, rows*cols),
+		srcVC:    make([]int, rows*cols),
+	}
+	for id := 0; id < rows*cols; id++ {
+		r := &router{node: topo.NodeFromID(id, cols)}
+		for p := mesh.Port(0); p < mesh.NumPorts; p++ {
+			ip := &inputPort{}
+			for v := 0; v < cfg.VCs; v++ {
+				ip.vcs = append(ip.vcs, &vcState{fifo: list.New()})
+			}
+			r.inputs[p] = ip
+			r.credits[p] = make([]int, cfg.VCs)
+			r.downVCBusy[p] = make([]bool, cfg.VCs)
+			for v := 0; v < cfg.VCs; v++ {
+				r.credits[p][v] = cfg.BufferFlits
+			}
+		}
+		m.routers = append(m.routers, r)
+	}
+	return m
+}
+
+// Nodes implements Network.
+func (m *Mesh) Nodes() int { return m.rows * m.cols }
+
+// Cycle implements Network.
+func (m *Mesh) Cycle() int { return m.cycle }
+
+// InFlight implements Network.
+func (m *Mesh) InFlight() int { return m.inFlight }
+
+// Inject implements Network.
+func (m *Mesh) Inject(p *Packet) {
+	p.remaining = p.NumFlits
+	m.srcQueue[p.Src] = append(m.srcQueue[p.Src], p)
+	m.inFlight++
+}
+
+// Step implements Network. Phases: deliver pipelined flits into downstream
+// buffers; switch allocation + traversal at every router; NI injection and
+// ejection.
+func (m *Mesh) Step() {
+	// Phase 1: land flits whose pipeline+link delay elapsed.
+	var keep []delivery
+	for _, d := range m.pipe {
+		if d.at > m.cycle {
+			keep = append(keep, d)
+			continue
+		}
+		rt := m.routers[d.toNode]
+		rt.inputs[d.toPort].vcs[d.toVC].fifo.PushBack(d.flit)
+	}
+	m.pipe = keep
+
+	// Phase 2: ejection — each router sinks up to one flit per cycle from
+	// input VCs holding flits destined here.
+	for id, rt := range m.routers {
+		m.ejectOne(id, rt)
+	}
+
+	// Phase 3: route computation + VC allocation + switch allocation +
+	// traversal, one flit per output port, one per input VC.
+	for id, rt := range m.routers {
+		m.switchAlloc(id, rt)
+	}
+
+	// Phase 4: NI injection into the Local input port.
+	for id := range m.routers {
+		m.injectOne(id)
+	}
+
+	m.utilSamps += int64(2 * m.Nodes()) // rough per-node link pair sample
+	m.util += int64(len(m.pipe))
+	m.cycle++
+}
+
+// ejectOne sinks one destination flit at router id, preferring the VC
+// whose head has waited longest (round-robin over ports for fairness).
+func (m *Mesh) ejectOne(id int, rt *router) {
+	for p := mesh.Port(0); p < mesh.NumPorts; p++ {
+		for v, vc := range rt.inputs[p].vcs {
+			if vc.fifo.Len() == 0 {
+				continue
+			}
+			f := vc.fifo.Front().Value.(*meshFlit)
+			if f.dst.ID(m.cols) != id {
+				continue
+			}
+			// Wormhole ordering: the whole packet drains through this VC
+			// one flit per cycle.
+			vc.fifo.Remove(vc.fifo.Front())
+			if p != mesh.Local {
+				m.creditReturnVC(id, p, v)
+			}
+			m.finish(f)
+			return
+		}
+	}
+}
+
+// finish retires a delivered flit.
+func (m *Mesh) finish(f *meshFlit) {
+	p := f.pkt
+	p.remaining--
+	if f.hops > p.Hops {
+		p.Hops = f.hops
+	}
+	if p.remaining == 0 {
+		p.Done = m.cycle
+		m.inFlight--
+	}
+}
+
+// switchAlloc performs routing, VC allocation and switch traversal for
+// router id: at most one flit leaves per output port per cycle.
+func (m *Mesh) switchAlloc(id int, rt *router) {
+	usedOut := [mesh.NumPorts]bool{}
+	// Iterate inputs starting from a rotating offset per output for
+	// fairness. Simpler: iterate all (port, vc) pairs in rotated order.
+	type cand struct {
+		p  mesh.Port
+		vc int
+	}
+	var cands []cand
+	for p := mesh.Port(0); p < mesh.NumPorts; p++ {
+		for v := range rt.inputs[p].vcs {
+			cands = append(cands, cand{p, v})
+		}
+	}
+	off := rt.rrIn[0] % len(cands)
+	rt.rrIn[0]++
+	for k := 0; k < len(cands); k++ {
+		c := cands[(k+off)%len(cands)]
+		vc := rt.inputs[c.p].vcs[c.vc]
+		if vc.fifo.Len() == 0 {
+			continue
+		}
+		f := vc.fifo.Front().Value.(*meshFlit)
+		if f.dst.ID(m.cols) == id {
+			continue // ejection handled separately
+		}
+		outPort := mesh.OutputPort(rt.node, f.dst)
+		if usedOut[outPort] {
+			continue
+		}
+		// VC allocation for head flits.
+		if f.head && !vc.active {
+			ov := m.allocVC(rt, outPort)
+			if ov < 0 {
+				continue // no downstream VC free
+			}
+			vc.active = true
+			vc.outPort = outPort
+			vc.outVC = ov
+		}
+		if !vc.active {
+			continue // body flit before its head allocated (shouldn't happen)
+		}
+		if vc.outPort != outPort {
+			outPort = vc.outPort // wormhole: follow the head's route
+			if usedOut[outPort] {
+				continue
+			}
+		}
+		if rt.credits[outPort][vc.outVC] == 0 {
+			continue // downstream buffer full
+		}
+		// Traverse: consume credit, schedule arrival after pipeline+link.
+		rt.credits[outPort][vc.outVC]--
+		vc.fifo.Remove(vc.fifo.Front())
+		if c.p != mesh.Local {
+			m.creditReturnVC(id, c.p, c.vc)
+		}
+		next, ok := mesh.Neighbor(rt.node, outPort, m.rows, m.cols)
+		if !ok {
+			panic("sim: mesh route exits grid")
+		}
+		f.hops++
+		m.pipe = append(m.pipe, delivery{
+			at:     m.cycle + m.cfg.RouterDelay + 1,
+			flit:   f,
+			toNode: next.ID(m.cols),
+			toPort: mesh.Opposite(outPort),
+			toVC:   vc.outVC,
+		})
+		usedOut[outPort] = true
+		if f.tail {
+			// Release the downstream VC for reallocation once the tail
+			// has left this router.
+			rt.downVCBusy[outPort][vc.outVC] = false
+			vc.active = false
+		}
+	}
+}
+
+// allocVC finds a free downstream VC on outPort.
+func (m *Mesh) allocVC(rt *router, outPort mesh.Port) int {
+	for v := 0; v < m.cfg.VCs; v++ {
+		if !rt.downVCBusy[outPort][v] {
+			rt.downVCBusy[outPort][v] = true
+			return v
+		}
+	}
+	return -1
+}
+
+// creditReturnVC returns a credit for a specific (input port, VC) of
+// router id to its upstream neighbour.
+func (m *Mesh) creditReturnVC(id int, p mesh.Port, vcIdx int) {
+	up, ok := mesh.Neighbor(m.routers[id].node, p, m.rows, m.cols)
+	if !ok {
+		return
+	}
+	upRt := m.routers[up.ID(m.cols)]
+	op := mesh.Opposite(p)
+	if upRt.credits[op][vcIdx] < m.cfg.BufferFlits {
+		upRt.credits[op][vcIdx]++
+	}
+}
+
+// injectOne moves flits of the head packet at node id's NI into the Local
+// input port, one flit per cycle, respecting local buffer capacity.
+func (m *Mesh) injectOne(id int) {
+	q := m.srcQueue[id]
+	if len(q) == 0 {
+		return
+	}
+	rt := m.routers[id]
+	p := q[0]
+	// Pick a local VC: head flits need a VC whose fifo can take the whole
+	// packet progressively; use the emptiest.
+	best, bestFree := -1, 0
+	if m.srcSent[id] > 0 {
+		// Keep packets on a single local VC: body flits must follow the
+		// head, so while mid-injection stick to the chosen VC.
+		v := m.srcVC[id]
+		best = v
+		bestFree = m.cfg.BufferFlits - rt.inputs[mesh.Local].vcs[v].fifo.Len()
+	} else {
+		for v, vc := range rt.inputs[mesh.Local].vcs {
+			free := m.cfg.BufferFlits - vc.fifo.Len()
+			if free > bestFree {
+				best, bestFree = v, free
+			}
+		}
+	}
+	if best < 0 || bestFree == 0 {
+		return
+	}
+	f := &meshFlit{
+		pkt:  p,
+		head: m.srcSent[id] == 0,
+		tail: m.srcSent[id] == p.NumFlits-1,
+		dst:  topo.NodeFromID(p.Dst, m.cols),
+	}
+	if f.head {
+		m.srcVC[id] = best
+	}
+	rt.inputs[mesh.Local].vcs[best].fifo.PushBack(f)
+	m.srcSent[id]++
+	if m.srcSent[id] == p.NumFlits {
+		m.srcQueue[id] = q[1:]
+		m.srcSent[id] = 0
+	}
+}
+
+// LinkUtilization implements Network: mean in-transit flits per link
+// sample; a coarse activity factor for the power model.
+func (m *Mesh) LinkUtilization() float64 {
+	if m.utilSamps == 0 {
+		return 0
+	}
+	return float64(m.util) / float64(m.utilSamps)
+}

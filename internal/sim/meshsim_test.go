@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"testing"
+
+	"routerless/internal/mesh"
+	"routerless/internal/traffic"
+)
+
+func TestMeshZeroLoadLatencyScalesWithRouterDelay(t *testing.T) {
+	// 1 hop, single flit. Latency = 1 (inject) + (D+1) per hop + eject
+	// on the landing cycle.
+	for _, d := range []int{0, 1, 2} {
+		m := NewMesh(4, 4, MeshN(d))
+		lat, hops := singlePacket(t, m, 0, 1, 1)
+		if hops != 1 {
+			t.Fatalf("delay %d: hops = %d", d, hops)
+		}
+		want := 1 + (d + 1)
+		if lat != want {
+			t.Fatalf("delay %d: latency = %d, want %d", d, lat, want)
+		}
+	}
+}
+
+func TestMeshMultiHopLatency(t *testing.T) {
+	m := NewMesh(4, 4, MeshN(2))
+	// (0,0) -> (3,3): 6 hops. 1 + 6*3 = 19.
+	lat, hops := singlePacket(t, m, 0, 15, 1)
+	if hops != 6 {
+		t.Fatalf("hops = %d, want 6", hops)
+	}
+	if lat != 19 {
+		t.Fatalf("latency = %d, want 19", lat)
+	}
+}
+
+func TestMeshSerialization(t *testing.T) {
+	m := NewMesh(4, 4, MeshN(1))
+	// 3-flit packet, 1 hop: head 1+2=3, tail follows 2 cycles later.
+	lat, _ := singlePacket(t, m, 0, 1, 3)
+	if lat != 5 {
+		t.Fatalf("latency = %d, want 5", lat)
+	}
+}
+
+func TestMeshHopsAreManhattan(t *testing.T) {
+	m := NewMesh(4, 4, MeshN(1))
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			if src == dst {
+				continue
+			}
+			mm := NewMesh(4, 4, MeshN(1))
+			_, hops := singlePacket(t, mm, src, dst, 1)
+			want := mesh.Hops(nodeOf(src, 4), nodeOf(dst, 4))
+			if hops != want {
+				t.Fatalf("%d->%d: hops %d, want %d", src, dst, hops, want)
+			}
+		}
+	}
+	_ = m
+}
+
+func TestMeshConservation(t *testing.T) {
+	m := NewMesh(4, 4, MeshN(2))
+	src := traffic.NewInjector(4, 4, traffic.UniformRandom, 0.05, 256, 1)
+	res := Run(m, src, RunConfig{WarmupCycles: 300, MeasureCycles: 3000, DrainCycles: 8000})
+	if res.Saturated {
+		t.Fatal("light load saturated mesh")
+	}
+	if res.PacketsDone != res.PacketsSent {
+		t.Fatalf("sent %d done %d", res.PacketsSent, res.PacketsDone)
+	}
+}
+
+func TestMeshBackpressureDoesNotLoseFlits(t *testing.T) {
+	// Hammer a single destination (hotspot) and verify every injected
+	// packet is eventually delivered once injection stops.
+	m := NewMesh(4, 4, MeshN(2))
+	var pkts []*Packet
+	for i := 0; i < 60; i++ {
+		p := &Packet{Src: i % 8, Dst: 15, NumFlits: 3, Injected: m.Cycle(), Done: -1}
+		if p.Src == p.Dst {
+			continue
+		}
+		m.Inject(p)
+		pkts = append(pkts, p)
+		m.Step()
+	}
+	for i := 0; i < 5000 && m.InFlight() > 0; i++ {
+		m.Step()
+	}
+	for _, p := range pkts {
+		if p.Done < 0 {
+			t.Fatalf("packet %d->%d lost under backpressure", p.Src, p.Dst)
+		}
+	}
+}
+
+func TestMeshDeterminism(t *testing.T) {
+	run := func() Result {
+		m := NewMesh(4, 4, MeshN(2))
+		src := traffic.NewInjector(4, 4, traffic.BitComplement, 0.08, 256, 21)
+		return Run(m, src, RunConfig{WarmupCycles: 200, MeasureCycles: 1500, DrainCycles: 4000})
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic mesh:\n%v\n%v", a, b)
+	}
+}
+
+// The paper's headline shape: routerless (REC) beats mesh on zero-load
+// latency because each hop costs one cycle instead of three.
+func TestRingBeatsMeshZeroLoad(t *testing.T) {
+	ringLat := avgZeroLoad(t, func() Network {
+		return NewRing(mustRec(t, 4), DefaultRingConfig())
+	}, 128)
+	meshLat := avgZeroLoad(t, func() Network { return NewMesh(4, 4, MeshN(2)) }, 256)
+	if ringLat >= meshLat {
+		t.Fatalf("ring zero-load %.2f not below mesh-2 %.2f", ringLat, meshLat)
+	}
+}
+
+func avgZeroLoad(t *testing.T, mk func() Network, linkBits int) float64 {
+	t.Helper()
+	net := mk()
+	src := traffic.NewInjector(4, 4, traffic.UniformRandom, 0.005, linkBits, 4)
+	res := Run(net, src, RunConfig{WarmupCycles: 200, MeasureCycles: 4000, DrainCycles: 4000})
+	if res.PacketsDone == 0 {
+		t.Fatal("no packets measured")
+	}
+	return res.AvgLatency
+}

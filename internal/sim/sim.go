@@ -1,0 +1,192 @@
+// Package sim is the cycle-accurate NoC simulator used for all
+// performance evaluation, standing in for Gem5/Garnet2.0 (see DESIGN.md).
+//
+// Two network models are provided:
+//
+//   - Ring: routerless ring interfaces (REC/DRL/IMR topologies) with
+//     single-cycle per-hop forwarding, per-loop flit-sized buffers,
+//     shared extension buffers and source routing via loop-selection
+//     tables;
+//   - Mesh: input-buffered virtual-channel wormhole routers with XY
+//     routing, credit flow control and a configurable router pipeline
+//     depth (2, 1, or 0 cycles, the paper's Mesh-2/Mesh-1/Mesh-0).
+//
+// Both expose the same Network interface, driven by a Runner that injects
+// traffic, advances cycles, and collects statistics.
+package sim
+
+import (
+	"fmt"
+
+	"routerless/internal/stats"
+	"routerless/internal/traffic"
+)
+
+// Packet is an in-flight packet; flits reference their parent packet.
+type Packet struct {
+	ID       int
+	Src, Dst int
+	Class    traffic.PacketClass
+	NumFlits int
+	// Injected is the cycle the packet entered the source queue;
+	// Done is the cycle its last flit was ejected (-1 while in flight).
+	Injected int
+	Done     int
+	// Hops records the path length experienced by the head flit.
+	Hops int
+	// remaining counts flits not yet ejected.
+	remaining int
+}
+
+// Network is a cycle-accurate NoC model.
+type Network interface {
+	// Nodes returns the number of network endpoints.
+	Nodes() int
+	// Inject queues a packet at its source NI at the current cycle.
+	Inject(p *Packet)
+	// Step advances the network by one cycle.
+	Step()
+	// Cycle returns the current cycle number.
+	Cycle() int
+	// InFlight returns the number of packets injected but not delivered.
+	InFlight() int
+	// LinkUtilization returns the mean fraction of link slots occupied
+	// since construction (for the dynamic-power model).
+	LinkUtilization() float64
+}
+
+// Result aggregates a simulation run's measurements.
+type Result struct {
+	Cycles          int
+	PacketsSent     int
+	PacketsDone     int
+	FlitsDone       int
+	AvgLatency      float64 // cycles, injection -> tail ejection
+	AvgHops         float64
+	Throughput      float64 // accepted flits/node/cycle
+	LinkUtilization float64
+	LatencyP99      float64
+	Saturated       bool
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("cycles=%d sent=%d done=%d lat=%.2f hops=%.2f thr=%.4f util=%.3f",
+		r.Cycles, r.PacketsSent, r.PacketsDone, r.AvgLatency, r.AvgHops, r.Throughput, r.LinkUtilization)
+}
+
+// Source produces injection requests per cycle; both traffic.Injector and
+// traffic.AppInjector satisfy it.
+type Source interface {
+	Tick() []traffic.Request
+}
+
+// RunConfig controls a measurement run.
+type RunConfig struct {
+	// WarmupCycles are simulated before measurement starts.
+	WarmupCycles int
+	// MeasureCycles is the measured window (injection continues).
+	MeasureCycles int
+	// DrainCycles bounds the post-measurement drain phase; measurement
+	// packets still in flight after the bound are abandoned (the run is
+	// then flagged Saturated).
+	DrainCycles int
+}
+
+// DefaultRunConfig mirrors the paper's synthetic methodology scaled for
+// test budgets: statistics over a fixed window after warm-up.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{WarmupCycles: 2000, MeasureCycles: 10000, DrainCycles: 20000}
+}
+
+// Run drives src over net per cfg and returns measurements for packets
+// injected during the measurement window.
+func Run(net Network, src Source, cfg RunConfig) Result {
+	nextID := 0
+	injectTick := func(measured bool) (sent int, packets []*Packet) {
+		for _, r := range src.Tick() {
+			p := &Packet{
+				ID:  nextID,
+				Src: r.Src, Dst: r.Dst,
+				Class:    r.Class,
+				NumFlits: r.NumFlits,
+				Injected: net.Cycle(),
+				Done:     -1,
+			}
+			nextID++
+			net.Inject(p)
+			if measured {
+				packets = append(packets, p)
+				sent++
+			}
+		}
+		return sent, packets
+	}
+
+	for i := 0; i < cfg.WarmupCycles; i++ {
+		injectTick(false)
+		net.Step()
+	}
+
+	var measured []*Packet
+	res := Result{}
+	for i := 0; i < cfg.MeasureCycles; i++ {
+		sent, ps := injectTick(true)
+		res.PacketsSent += sent
+		measured = append(measured, ps...)
+		net.Step()
+	}
+	// Drain: no further injection.
+	for i := 0; i < cfg.DrainCycles && pending(measured) > 0; i++ {
+		net.Step()
+	}
+
+	var lat, hops []float64
+	for _, p := range measured {
+		if p.Done < 0 {
+			res.Saturated = true
+			continue
+		}
+		res.PacketsDone++
+		res.FlitsDone += p.NumFlits
+		lat = append(lat, float64(p.Done-p.Injected))
+		hops = append(hops, float64(p.Hops))
+	}
+	res.Cycles = cfg.MeasureCycles
+	res.AvgLatency = stats.Mean(lat)
+	res.AvgHops = stats.Mean(hops)
+	if len(lat) > 0 {
+		res.LatencyP99 = stats.Percentile(lat, 99)
+	}
+	res.Throughput = float64(res.FlitsDone) / float64(cfg.MeasureCycles) / float64(net.Nodes())
+	res.LinkUtilization = net.LinkUtilization()
+	return res
+}
+
+func pending(ps []*Packet) int {
+	n := 0
+	for _, p := range ps {
+		if p.Done < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SweepPoint couples an injection rate with its Result.
+type SweepPoint struct {
+	Rate   float64
+	Result Result
+}
+
+// Curve converts sweep points into a stats load-latency curve.
+func Curve(points []SweepPoint) []stats.CurvePoint {
+	out := make([]stats.CurvePoint, len(points))
+	for i, p := range points {
+		out[i] = stats.CurvePoint{
+			InjectionRate: p.Rate,
+			Latency:       p.Result.AvgLatency,
+			Throughput:    p.Result.Throughput,
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+// Package stats provides the small statistical utilities used across the
+// simulator, the DRL search, and the benchmark harness: running means,
+// standard deviations, histograms, and saturation detection on
+// latency-vs-injection curves.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Min returns the minimum of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation; it panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Welford accumulates a running mean and variance without storing samples.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the running population variance.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Var()) }
+
+// CurvePoint is one (injection rate, average latency, accepted throughput)
+// sample on a load-latency curve.
+type CurvePoint struct {
+	InjectionRate float64 // offered, flits/node/cycle
+	Latency       float64 // average packet latency, cycles
+	Throughput    float64 // accepted, flits/node/cycle
+}
+
+// SaturationThroughput estimates the network saturation point from a
+// load-latency curve: the throughput at the first point whose latency
+// exceeds latencyCap times the zero-load latency (the curve's first
+// sample). When no point exceeds the cap, the last point's throughput is
+// returned. This mirrors the paper's methodology of sweeping injection
+// rates "until the network saturates".
+func SaturationThroughput(curve []CurvePoint, latencyCap float64) float64 {
+	if len(curve) == 0 {
+		return 0
+	}
+	zeroLoad := curve[0].Latency
+	best := 0.0
+	for _, p := range curve {
+		if p.Latency > latencyCap*zeroLoad {
+			return best
+		}
+		if p.Throughput > best {
+			best = p.Throughput
+		}
+	}
+	return best
+}
+
+// ZeroLoadLatency returns the latency of the curve's first point, or 0.
+func ZeroLoadLatency(curve []CurvePoint) float64 {
+	if len(curve) == 0 {
+		return 0
+	}
+	return curve[0].Latency
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single sample SD != 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almost(got, 2, 1e-12) {
+		t.Fatalf("SD = %v, want 2", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Fatalf("p25 = %v", got)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		w.Add(xs[i])
+	}
+	if w.N() != 1000 {
+		t.Fatalf("n = %d", w.N())
+	}
+	if !almost(w.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("mean %v vs %v", w.Mean(), Mean(xs))
+	}
+	if !almost(w.StdDev(), StdDev(xs), 1e-9) {
+		t.Fatalf("sd %v vs %v", w.StdDev(), StdDev(xs))
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 {
+		t.Fatal("empty Welford not zero")
+	}
+}
+
+func TestSaturationThroughput(t *testing.T) {
+	curve := []CurvePoint{
+		{0.01, 10, 0.01},
+		{0.05, 11, 0.05},
+		{0.10, 13, 0.10},
+		{0.15, 25, 0.14},
+		{0.20, 90, 0.14}, // saturated: latency blew past 3x zero-load
+	}
+	got := SaturationThroughput(curve, 3)
+	if got != 0.14 {
+		t.Fatalf("saturation = %v, want 0.14 (last pre-saturation point)", got)
+	}
+}
+
+func TestSaturationNeverExceedsCap(t *testing.T) {
+	curve := []CurvePoint{{0.01, 10, 0.01}, {0.05, 12, 0.05}}
+	if got := SaturationThroughput(curve, 3); got != 0.05 {
+		t.Fatalf("unsaturated curve: %v", got)
+	}
+	if SaturationThroughput(nil, 3) != 0 {
+		t.Fatal("empty curve should return 0")
+	}
+}
+
+func TestZeroLoadLatency(t *testing.T) {
+	if ZeroLoadLatency(nil) != 0 {
+		t.Fatal("nil curve")
+	}
+	if got := ZeroLoadLatency([]CurvePoint{{0.005, 9.9, 0.005}}); got != 9.9 {
+		t.Fatalf("zero load = %v", got)
+	}
+}

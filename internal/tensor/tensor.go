@@ -1,0 +1,207 @@
+// Package tensor implements the dense float64 tensors underlying the
+// neural-network package. Only the operations the DRL framework needs are
+// provided; everything is written against the standard library.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float64 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New allocates a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("tensor: invalid dimension %d in %v", s, shape))
+		}
+		n *= s
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data with the given shape; data length must match.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	t := &Tensor{Shape: append([]int(nil), shape...), Data: data}
+	if len(data) != t.Size() {
+		panic(fmt.Sprintf("tensor: data length %d != shape %v", len(data), shape))
+	}
+	return t
+}
+
+// Randn fills a new tensor with N(0, std²) samples.
+func Randn(rng *rand.Rand, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+	return t
+}
+
+// Size returns the element count.
+func (t *Tensor) Size() int {
+	n := 1
+	for _, s := range t.Shape {
+		n *= s
+	}
+	return n
+}
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// ZerosLike returns a zero tensor with t's shape.
+func (t *Tensor) ZerosLike() *Tensor { return New(t.Shape...) }
+
+// Reshape returns a view with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	v := &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+	if v.Size() != t.Size() {
+		panic(fmt.Sprintf("tensor: reshape %v -> %v changes size", t.Shape, shape))
+	}
+	return v
+}
+
+// At reads the element at the given indices.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+
+// Set writes the element at the given indices.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: %d indices for shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// AddInPlace accumulates o into t elementwise.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	if t.Size() != o.Size() {
+		panic("tensor: size mismatch in AddInPlace")
+	}
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func (t *Tensor) ScaleInPlace(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AxpyInPlace computes t += a*o.
+func (t *Tensor) AxpyInPlace(a float64, o *Tensor) {
+	if t.Size() != o.Size() {
+		panic("tensor: size mismatch in AxpyInPlace")
+	}
+	for i, v := range o.Data {
+		t.Data[i] += a * v
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Norm returns the L2 norm of the tensor.
+func (t *Tensor) Norm() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// ClipInPlace clamps every element to [-c, c].
+func (t *Tensor) ClipInPlace(c float64) {
+	for i, v := range t.Data {
+		if v > c {
+			t.Data[i] = c
+		} else if v < -c {
+			t.Data[i] = -c
+		}
+	}
+}
+
+// MatVec computes y = A·x for a 2-D tensor A (m×n) and a vector x (n).
+func MatVec(a *Tensor, x []float64) []float64 {
+	if len(a.Shape) != 2 || a.Shape[1] != len(x) {
+		panic(fmt.Sprintf("tensor: MatVec shapes %v · %d", a.Shape, len(x)))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		s := 0.0
+		row := a.Data[i*n : (i+1)*n]
+		for j, w := range row {
+			s += w * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MatVecT computes y = Aᵀ·x for a 2-D tensor A (m×n) and vector x (m).
+func MatVecT(a *Tensor, x []float64) []float64 {
+	if len(a.Shape) != 2 || a.Shape[0] != len(x) {
+		panic(fmt.Sprintf("tensor: MatVecT shapes %vᵀ · %d", a.Shape, len(x)))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	y := make([]float64, n)
+	for i := 0; i < m; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := a.Data[i*n : (i+1)*n]
+		for j, w := range row {
+			y[j] += w * xi
+		}
+	}
+	return y
+}
+
+// Softmax returns the softmax of xs (numerically stable).
+func Softmax(xs []float64) []float64 {
+	max := xs[0]
+	for _, v := range xs[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(xs))
+	sum := 0.0
+	for i, v := range xs {
+		e := math.Exp(v - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

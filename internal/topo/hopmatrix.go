@@ -1,0 +1,46 @@
+package topo
+
+// UnconnectedHops returns the sentinel hop value used for unconnected node
+// pairs in the state encoding: 5*N for an N×N NoC (§4.2 of the paper).
+// For rectangular grids the larger dimension is used.
+func UnconnectedHops(rows, cols int) float64 {
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	return 5 * float64(n)
+}
+
+// HopMatrix encodes the topology as the paper's state representation: a
+// matrix tiled from R×C submatrices, where submatrix (r,c) holds the hop
+// count from node (r,c) to every node in the network. Submatrix (sr,sc)
+// occupies block row sr and block column sc, so the full matrix is
+// (R²)×(C²); for the paper's square N×N NoCs this is the N²×N² hop-count
+// matrix fed to the DNN. Unconnected pairs encode as UnconnectedHops; a
+// node's distance to itself is 0.
+//
+// The returned slice is row-major with height R² and width C².
+func (t *Topology) HopMatrix() []float64 {
+	r, c := t.rows, t.cols
+	h, w := r*r, c*c
+	def := UnconnectedHops(r, c)
+	m := make([]float64, h*w)
+	for s := 0; s < t.N(); s++ {
+		src := NodeFromID(s, c)
+		for d := 0; d < t.N(); d++ {
+			dst := NodeFromID(d, c)
+			hops := t.Dist(src, dst)
+			v := def
+			if hops >= 0 {
+				v = float64(hops)
+			}
+			row := src.Row*r + dst.Row
+			col := src.Col*c + dst.Col
+			m[row*w+col] = v
+		}
+	}
+	return m
+}
+
+// HopMatrixDims returns the (height, width) of HopMatrix: (Rows², Cols²).
+func (t *Topology) HopMatrixDims() (int, int) { return t.rows * t.rows, t.cols * t.cols }

@@ -1,0 +1,60 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// topologyJSON is the on-disk representation used by the cmd tools.
+type topologyJSON struct {
+	Rows       int        `json:"rows"`
+	Cols       int        `json:"cols"`
+	OverlapCap int        `json:"overlap_cap,omitempty"`
+	Loops      []loopJSON `json:"loops"`
+}
+
+type loopJSON struct {
+	R1  int    `json:"r1"`
+	C1  int    `json:"c1"`
+	R2  int    `json:"r2"`
+	C2  int    `json:"c2"`
+	Dir string `json:"dir"`
+}
+
+// MarshalJSON encodes the topology with its loop list.
+func (t *Topology) MarshalJSON() ([]byte, error) {
+	j := topologyJSON{Rows: t.rows, Cols: t.cols, OverlapCap: t.overlapCap}
+	for _, l := range t.loops {
+		j.Loops = append(j.Loops, loopJSON{l.R1, l.C1, l.R2, l.C2, l.Dir.String()})
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes a topology previously written by MarshalJSON.
+func (t *Topology) UnmarshalJSON(b []byte) error {
+	var j topologyJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	if j.Rows < 1 || j.Cols < 1 {
+		return fmt.Errorf("topo: invalid grid %dx%d", j.Rows, j.Cols)
+	}
+	*t = *New(j.Rows, j.Cols, j.OverlapCap)
+	for _, lj := range j.Loops {
+		var dir Direction
+		switch lj.Dir {
+		case "CW":
+			dir = Clockwise
+		case "CCW":
+			dir = Counterclockwise
+		default:
+			return fmt.Errorf("topo: unknown direction %q", lj.Dir)
+		}
+		l, err := NewLoop(lj.R1, lj.C1, lj.R2, lj.C2, dir)
+		if err != nil {
+			return err
+		}
+		t.addUnchecked(l)
+	}
+	return nil
+}

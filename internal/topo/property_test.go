@@ -1,0 +1,139 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteDist recomputes the pairwise distance directly from the loop list,
+// bypassing the incremental cache.
+func bruteDist(t *Topology, src, dst Node) int {
+	if src == dst {
+		return 0
+	}
+	best := -1
+	for _, l := range t.Loops() {
+		d := l.Dist(src, dst)
+		if d > 0 && (best < 0 || d < best) {
+			best = d
+		}
+	}
+	return best
+}
+
+// Property: the incremental distance cache always matches a brute-force
+// recomputation, through arbitrary interleavings of AddLoop and RemoveLoop.
+func TestDistCacheMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(4)
+		tp := NewSquare(n, 0)
+		for op := 0; op < 25; op++ {
+			if tp.NumLoops() > 0 && rng.Float64() < 0.25 {
+				tp.RemoveLoop(rng.Intn(tp.NumLoops()))
+			} else {
+				r1, c1 := rng.Intn(n-1), rng.Intn(n-1)
+				r2 := r1 + 1 + rng.Intn(n-1-r1)
+				c2 := c1 + 1 + rng.Intn(n-1-c1)
+				l := MustLoop(r1, c1, r2, c2, Direction(rng.Intn(2)))
+				if !tp.HasLoop(l) {
+					if err := tp.AddLoop(l); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			// Spot-check a handful of random pairs plus the extremes.
+			for k := 0; k < 8; k++ {
+				s := NodeFromID(rng.Intn(n*n), n)
+				d := NodeFromID(rng.Intn(n*n), n)
+				want := bruteDist(tp, s, d)
+				if got := tp.Dist(s, d); got != want {
+					t.Fatalf("n=%d after %d ops: Dist(%v,%v) cache %d, brute %d",
+						n, op, s, d, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Property: overlap bookkeeping equals a recount from the loop list.
+func TestOverlapMatchesRecount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 5
+	tp := NewSquare(n, 0)
+	for op := 0; op < 40; op++ {
+		r1, c1 := rng.Intn(n-1), rng.Intn(n-1)
+		r2 := r1 + 1 + rng.Intn(n-1-r1)
+		c2 := c1 + 1 + rng.Intn(n-1-c1)
+		l := MustLoop(r1, c1, r2, c2, Direction(rng.Intn(2)))
+		if tp.HasLoop(l) {
+			continue
+		}
+		if err := tp.AddLoop(l); err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < n*n; id++ {
+			node := NodeFromID(id, n)
+			count := 0
+			for _, lp := range tp.Loops() {
+				if lp.Contains(node) {
+					count++
+				}
+			}
+			if got := tp.Overlap(node); got != count {
+				t.Fatalf("overlap(%v) = %d, recount %d", node, got, count)
+			}
+		}
+	}
+}
+
+// Property: TotalWiring equals the sum of loop perimeters.
+func TestTotalWiringEqualsPerimeterSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tp := NewSquare(6, 0)
+	want := 0
+	for op := 0; op < 20; op++ {
+		r1, c1 := rng.Intn(5), rng.Intn(5)
+		r2 := r1 + 1 + rng.Intn(5-r1)
+		c2 := c1 + 1 + rng.Intn(5-c1)
+		l := MustLoop(r1, c1, r2, c2, Direction(rng.Intn(2)))
+		if tp.HasLoop(l) {
+			continue
+		}
+		if err := tp.AddLoop(l); err != nil {
+			t.Fatal(err)
+		}
+		want += l.Len()
+		if got := tp.TotalWiring(); got != want {
+			t.Fatalf("wiring %d, want %d", got, want)
+		}
+	}
+}
+
+// Property: a clone's caches behave identically to a freshly rebuilt
+// topology for all pair queries.
+func TestCloneCacheConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tp := NewSquare(5, 0)
+	for op := 0; op < 10; op++ {
+		r1, c1 := rng.Intn(4), rng.Intn(4)
+		r2 := r1 + 1 + rng.Intn(4-r1)
+		c2 := c1 + 1 + rng.Intn(4-c1)
+		l := MustLoop(r1, c1, r2, c2, Direction(rng.Intn(2)))
+		if !tp.HasLoop(l) {
+			if err := tp.AddLoop(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c := tp.Clone()
+	for s := 0; s < 25; s++ {
+		for d := 0; d < 25; d++ {
+			a := tp.Dist(NodeFromID(s, 5), NodeFromID(d, 5))
+			b := c.Dist(NodeFromID(s, 5), NodeFromID(d, 5))
+			if a != b {
+				t.Fatalf("clone dist differs at (%d,%d): %d vs %d", s, d, a, b)
+			}
+		}
+	}
+}

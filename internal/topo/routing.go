@@ -1,0 +1,81 @@
+package topo
+
+// RoutingTable is the per-source loop-selection table a routerless NoC
+// keeps at each node interface: for every destination, the loop (by index
+// into Topology.Loops) that minimizes hop count from this source. Entries
+// for unreachable destinations and for the source itself are -1.
+//
+// Real hardware stores a few bits per destination (§6.6); this table is the
+// behavioural equivalent consumed by the simulator.
+type RoutingTable struct {
+	cols  int
+	loops [][]int // [srcID][dstID] = loop index or -1
+	dist  [][]int // [srcID][dstID] = hop count or -1
+}
+
+// BuildRoutingTable computes the minimum-hop loop selection for every
+// ordered pair.
+func BuildRoutingTable(t *Topology) *RoutingTable {
+	return BuildRoutingTableExcluding(t, nil)
+}
+
+// BuildRoutingTableExcluding computes the routing table while treating the
+// loops whose indices appear in failed as unusable — the degraded-mode
+// routing used by the reliability analysis (§6.7). Pairs connected only by
+// failed loops become unreachable.
+func BuildRoutingTableExcluding(t *Topology, failed map[int]bool) *RoutingTable {
+	n := t.N()
+	rt := &RoutingTable{
+		cols:  t.Cols(),
+		loops: make([][]int, n),
+		dist:  make([][]int, n),
+	}
+	for s := 0; s < n; s++ {
+		rt.loops[s] = make([]int, n)
+		rt.dist[s] = make([]int, n)
+		src := NodeFromID(s, t.Cols())
+		for d := 0; d < n; d++ {
+			if s == d {
+				rt.loops[s][d] = -1
+				rt.dist[s][d] = 0
+				continue
+			}
+			li, h := bestLoopExcluding(t, src, NodeFromID(d, t.Cols()), failed)
+			rt.loops[s][d] = li
+			rt.dist[s][d] = h
+		}
+	}
+	return rt
+}
+
+// bestLoopExcluding is Topology.BestLoop skipping failed loop indices.
+func bestLoopExcluding(t *Topology, src, dst Node, failed map[int]bool) (loopIdx, dist int) {
+	loopIdx, dist = -1, -1
+	for _, li := range t.byNode[src.ID(t.cols)] {
+		if failed[li] {
+			continue
+		}
+		d := t.loops[li].Dist(src, dst)
+		if d > 0 && (dist < 0 || d < dist) {
+			dist = d
+			loopIdx = li
+		}
+	}
+	return loopIdx, dist
+}
+
+// Loop returns the loop index to use from src to dst, or -1.
+func (rt *RoutingTable) Loop(src, dst Node) int {
+	return rt.loops[src.ID(rt.cols)][dst.ID(rt.cols)]
+}
+
+// Dist returns the hop count from src to dst along the selected loop,
+// or -1 when unreachable.
+func (rt *RoutingTable) Dist(src, dst Node) int {
+	return rt.dist[src.ID(rt.cols)][dst.ID(rt.cols)]
+}
+
+// Reachable reports whether dst can be reached from src.
+func (rt *RoutingTable) Reachable(src, dst Node) bool {
+	return src == dst || rt.loops[src.ID(rt.cols)][dst.ID(rt.cols)] >= 0
+}

@@ -1,0 +1,372 @@
+package topo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrIllegal is returned when adding a loop would violate the node
+// overlapping cap (the paper's "illegal action").
+var ErrIllegal = errors.New("topo: loop violates node overlapping cap")
+
+// ErrRepetitive is returned when adding a loop that is already present
+// (the paper's "repetitive action").
+var ErrRepetitive = errors.New("topo: duplicate loop")
+
+// ErrOutOfBounds is returned when a loop does not fit on the grid.
+var ErrOutOfBounds = errors.New("topo: loop out of grid bounds")
+
+// Topology is a routerless NoC: an N×M node grid plus a set of
+// unidirectional rectangular loops. The zero value is unusable; construct
+// with New.
+type Topology struct {
+	rows, cols int
+	overlapCap int // 0 means unconstrained
+	loops      []Loop
+	// overlap[nodeID] = number of loops whose perimeter includes the node.
+	overlap []int
+	// byNode[nodeID] = indices into loops of loops passing through the node.
+	byNode [][]int
+	// dist caches the minimum directed loop distance between every node
+	// pair (row-major [src*N+dst]), maintained incrementally by AddLoop;
+	// -1 means unconnected. It makes Dist O(1), which the greedy search
+	// of Algorithm 1 and the simulator's routing tables rely on.
+	dist []int16
+}
+
+// New returns an empty topology on a rows×cols grid. overlapCap limits the
+// number of loops that may pass through any single node; pass 0 for
+// unconstrained.
+func New(rows, cols, overlapCap int) *Topology {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("topo: invalid grid %dx%d", rows, cols))
+	}
+	n := rows * cols
+	t := &Topology{
+		rows:       rows,
+		cols:       cols,
+		overlapCap: overlapCap,
+		overlap:    make([]int, n),
+		byNode:     make([][]int, n),
+		dist:       make([]int16, n*n),
+	}
+	for i := range t.dist {
+		t.dist[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		t.dist[i*n+i] = 0
+	}
+	return t
+}
+
+// NewSquare is New(n, n, cap).
+func NewSquare(n, overlapCap int) *Topology { return New(n, n, overlapCap) }
+
+// Rows returns the number of grid rows.
+func (t *Topology) Rows() int { return t.rows }
+
+// Cols returns the number of grid columns.
+func (t *Topology) Cols() int { return t.cols }
+
+// N returns the total node count.
+func (t *Topology) N() int { return t.rows * t.cols }
+
+// OverlapCap returns the node overlapping constraint (0 = unconstrained).
+func (t *Topology) OverlapCap() int { return t.overlapCap }
+
+// SetOverlapCap changes the constraint for future AddLoop calls. It does
+// not retroactively validate existing loops.
+func (t *Topology) SetOverlapCap(cap int) { t.overlapCap = cap }
+
+// Loops returns the loop set. The returned slice must not be mutated.
+func (t *Topology) Loops() []Loop { return t.loops }
+
+// NumLoops returns the number of loops.
+func (t *Topology) NumLoops() int { return len(t.loops) }
+
+// Overlap returns the number of loops passing through node n.
+func (t *Topology) Overlap(n Node) int { return t.overlap[n.ID(t.cols)] }
+
+// MaxOverlap returns the maximum node overlapping across the grid.
+func (t *Topology) MaxOverlap() int {
+	m := 0
+	for _, v := range t.overlap {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// LoopsAt returns indices (into Loops()) of loops through node n.
+func (t *Topology) LoopsAt(n Node) []int { return t.byNode[n.ID(t.cols)] }
+
+// HasLoop reports whether an identical loop is already present.
+func (t *Topology) HasLoop(l Loop) bool {
+	for _, e := range t.loops {
+		if e.Equal(l) {
+			return true
+		}
+	}
+	return false
+}
+
+// fits reports whether the loop lies within the grid.
+func (t *Topology) fits(l Loop) bool {
+	return l.R1 >= 0 && l.C1 >= 0 && l.R2 < t.rows && l.C2 < t.cols
+}
+
+// CheckAdd validates adding loop l without mutating the topology. It
+// returns nil when the addition is legal, or one of ErrOutOfBounds,
+// ErrRepetitive, ErrIllegal.
+func (t *Topology) CheckAdd(l Loop) error {
+	if !t.fits(l) {
+		return ErrOutOfBounds
+	}
+	if t.HasLoop(l) {
+		return ErrRepetitive
+	}
+	if t.overlapCap > 0 {
+		for _, n := range l.Nodes() {
+			if t.overlap[n.ID(t.cols)]+1 > t.overlapCap {
+				return ErrIllegal
+			}
+		}
+	}
+	return nil
+}
+
+// AddLoop appends loop l, enforcing bounds, duplication and the overlap cap.
+func (t *Topology) AddLoop(l Loop) error {
+	if err := t.CheckAdd(l); err != nil {
+		return err
+	}
+	t.addUnchecked(l)
+	return nil
+}
+
+// addUnchecked appends l and updates the per-node indices and the
+// pairwise-distance cache.
+func (t *Topology) addUnchecked(l Loop) {
+	idx := len(t.loops)
+	t.loops = append(t.loops, l)
+	nodes := l.Nodes()
+	for _, n := range nodes {
+		id := n.ID(t.cols)
+		t.overlap[id]++
+		t.byNode[id] = append(t.byNode[id], idx)
+	}
+	n := t.N()
+	ll := len(nodes)
+	for i, u := range nodes {
+		uid := u.ID(t.cols)
+		for j, v := range nodes {
+			if i == j {
+				continue
+			}
+			// nodes is already in traversal order for the loop's
+			// direction, so the index gap is the directed distance.
+			d := j - i
+			if d < 0 {
+				d += ll
+			}
+			vid := v.ID(t.cols)
+			cur := t.dist[uid*n+vid]
+			if cur < 0 || int16(d) < cur {
+				t.dist[uid*n+vid] = int16(d)
+			}
+		}
+	}
+}
+
+// RemoveLoop removes the loop at index i. It is used by evolutionary
+// baselines (IMR) and failure-injection tests.
+func (t *Topology) RemoveLoop(i int) {
+	if i < 0 || i >= len(t.loops) {
+		panic(fmt.Sprintf("topo: RemoveLoop index %d out of range", i))
+	}
+	t.loops = append(t.loops[:i:i], t.loops[i+1:]...)
+	t.reindex()
+}
+
+func (t *Topology) reindex() {
+	for i := range t.overlap {
+		t.overlap[i] = 0
+		t.byNode[i] = nil
+	}
+	for i := range t.dist {
+		t.dist[i] = -1
+	}
+	for i := 0; i < t.N(); i++ {
+		t.dist[i*t.N()+i] = 0
+	}
+	loops := t.loops
+	t.loops = nil
+	for _, l := range loops {
+		t.addUnchecked(l)
+	}
+}
+
+// Clone returns a deep copy.
+func (t *Topology) Clone() *Topology {
+	c := New(t.rows, t.cols, t.overlapCap)
+	c.loops = append([]Loop(nil), t.loops...)
+	copy(c.overlap, t.overlap)
+	copy(c.dist, t.dist)
+	for i, bs := range t.byNode {
+		c.byNode[i] = append([]int(nil), bs...)
+	}
+	return c
+}
+
+// Dist returns the minimum hop count from src to dst over all loops that
+// contain both, or -1 when the pair is unconnected. The source node itself
+// has distance 0. It reads the incremental cache and costs O(1).
+func (t *Topology) Dist(src, dst Node) int {
+	return int(t.dist[src.ID(t.cols)*t.N()+dst.ID(t.cols)])
+}
+
+// BestLoop returns the index of the loop giving the minimum src→dst
+// distance, and that distance. It returns (-1, -1) when unconnected.
+func (t *Topology) BestLoop(src, dst Node) (loopIdx, dist int) {
+	loopIdx, dist = -1, -1
+	for _, li := range t.byNode[src.ID(t.cols)] {
+		d := t.loops[li].Dist(src, dst)
+		if d > 0 && (dist < 0 || d < dist) {
+			dist = d
+			loopIdx = li
+		}
+	}
+	return loopIdx, dist
+}
+
+// FullyConnected reports whether every ordered pair of distinct nodes is
+// joined by at least one loop.
+func (t *Topology) FullyConnected() bool {
+	return len(t.UnconnectedPairs(1)) == 0
+}
+
+// UnconnectedPairs returns up to max ordered pairs lacking a connecting
+// loop; pass max <= 0 for all.
+func (t *Topology) UnconnectedPairs(max int) [][2]Node {
+	var out [][2]Node
+	for s := 0; s < t.N(); s++ {
+		src := NodeFromID(s, t.cols)
+		for d := 0; d < t.N(); d++ {
+			if s == d {
+				continue
+			}
+			dst := NodeFromID(d, t.cols)
+			if t.Dist(src, dst) < 0 {
+				out = append(out, [2]Node{src, dst})
+				if max > 0 && len(out) >= max {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConnectedCount returns the number of ordered (src,dst) pairs, src != dst,
+// joined by at least one loop. A fully connected N-node topology returns
+// N*(N-1).
+func (t *Topology) ConnectedCount() int {
+	n := t.N()
+	count := 0
+	for s := 0; s < n; s++ {
+		src := NodeFromID(s, t.cols)
+		for d := 0; d < n; d++ {
+			if s != d && t.Dist(src, NodeFromID(d, t.cols)) > 0 {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// AverageHops returns the mean loop distance over all connected ordered
+// pairs and the number of unconnected pairs. The paper's "average hop
+// count" metric is this mean on a fully connected topology.
+func (t *Topology) AverageHops() (mean float64, unconnected int) {
+	n := t.N()
+	total, pairs := 0, 0
+	for s := 0; s < n; s++ {
+		src := NodeFromID(s, t.cols)
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			h := t.Dist(src, NodeFromID(d, t.cols))
+			if h < 0 {
+				unconnected++
+				continue
+			}
+			total += h
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0, unconnected
+	}
+	return float64(total) / float64(pairs), unconnected
+}
+
+// PathCount returns the number of distinct loops connecting src to dst.
+// The paper (§6.7) uses the average of this over all pairs as a
+// reliability/path-diversity metric.
+func (t *Topology) PathCount(src, dst Node) int {
+	if src == dst {
+		return 0
+	}
+	c := 0
+	for _, li := range t.byNode[src.ID(t.cols)] {
+		if t.loops[li].Dist(src, dst) > 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// AveragePathDiversity returns the mean PathCount over all ordered pairs
+// of distinct nodes.
+func (t *Topology) AveragePathDiversity() float64 {
+	n := t.N()
+	total := 0
+	for s := 0; s < n; s++ {
+		src := NodeFromID(s, t.cols)
+		for d := 0; d < n; d++ {
+			if s != d {
+				total += t.PathCount(src, NodeFromID(d, t.cols))
+			}
+		}
+	}
+	return float64(total) / float64(n*(n-1))
+}
+
+// TotalWiring returns the total number of node-loop incidences (the sum of
+// node overlapping over all nodes), a proxy for wiring resources.
+func (t *Topology) TotalWiring() int {
+	s := 0
+	for _, v := range t.overlap {
+		s += v
+	}
+	return s
+}
+
+// Fingerprint returns a canonical string for the loop multiset, used as a
+// state key by the MCTS. Loop order is normalized.
+func (t *Topology) Fingerprint() string {
+	keys := make([]string, len(t.loops))
+	for i, l := range t.loops {
+		keys[i] = l.String()
+	}
+	sort.Strings(keys)
+	out := make([]byte, 0, len(keys)*12)
+	for _, k := range keys {
+		out = append(out, k...)
+		out = append(out, ';')
+	}
+	return string(out)
+}

@@ -1,0 +1,65 @@
+package traffic
+
+import (
+	"testing"
+
+	"routerless/internal/topo"
+)
+
+func TestHotspotConcentratesTraffic(t *testing.T) {
+	hs := []int{27} // single hotspot
+	in := NewHotspotInjector(8, 8, 0.2, 0.8, hs, 128, 4)
+	hot, total := 0, 0
+	for i := 0; i < 5000; i++ {
+		for _, r := range in.Tick() {
+			total++
+			if r.Dst == 27 {
+				hot++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no packets")
+	}
+	frac := float64(hot) / float64(total)
+	if frac < 0.6 || frac > 0.95 {
+		t.Fatalf("hotspot fraction = %v, want ≈0.8", frac)
+	}
+}
+
+func TestHotspotDefaultsToCorners(t *testing.T) {
+	in := NewHotspotInjector(4, 4, 0.3, 1.0, nil, 128, 2)
+	corners := map[int]bool{0: true, 3: true, 12: true, 15: true}
+	for i := 0; i < 500; i++ {
+		for _, r := range in.Tick() {
+			if !corners[r.Dst] {
+				t.Fatalf("non-corner destination %d with hotFraction 1", r.Dst)
+			}
+		}
+	}
+}
+
+func TestNeighborInjectorAdjacencyOnly(t *testing.T) {
+	in := NewNeighborInjector(6, 6, 0.3, 128, 9)
+	for i := 0; i < 2000; i++ {
+		for _, r := range in.Tick() {
+			s := topo.NodeFromID(r.Src, 6)
+			d := topo.NodeFromID(r.Dst, 6)
+			dr, dc := s.Row-d.Row, s.Col-d.Col
+			if dr*dr+dc*dc != 1 {
+				t.Fatalf("non-neighbor packet %v -> %v", s, d)
+			}
+		}
+	}
+}
+
+func TestNeighborInjectorCornerStaysInGrid(t *testing.T) {
+	in := NewNeighborInjector(2, 2, 0.9, 128, 1)
+	for i := 0; i < 500; i++ {
+		for _, r := range in.Tick() {
+			if r.Dst < 0 || r.Dst >= 4 || r.Dst == r.Src {
+				t.Fatalf("bad destination %d from %d", r.Dst, r.Src)
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package traffic supplies the workloads driving the cycle-accurate
+// simulator: the six synthetic patterns of §5 of the paper (uniform random,
+// tornado, bit complement, bit rotation, shuffle, transpose) and
+// Synfull-style statistical application models standing in for the PARSEC
+// benchmarks (see DESIGN.md, substitutions).
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"routerless/internal/topo"
+)
+
+// Pattern names a synthetic destination mapping.
+type Pattern int
+
+// The synthetic patterns evaluated in the paper.
+const (
+	UniformRandom Pattern = iota
+	Tornado
+	BitComplement
+	BitRotation
+	Shuffle
+	Transpose
+)
+
+// Patterns lists every synthetic pattern in evaluation order.
+var Patterns = []Pattern{UniformRandom, Tornado, BitComplement, BitRotation, Shuffle, Transpose}
+
+// String returns the conventional pattern name.
+func (p Pattern) String() string {
+	switch p {
+	case UniformRandom:
+		return "uniform_random"
+	case Tornado:
+		return "tornado"
+	case BitComplement:
+		return "bit_complement"
+	case BitRotation:
+		return "bit_rotation"
+	case Shuffle:
+		return "shuffle"
+	case Transpose:
+		return "transpose"
+	}
+	return fmt.Sprintf("pattern(%d)", int(p))
+}
+
+// ParsePattern resolves a pattern name as printed by String.
+func ParsePattern(s string) (Pattern, error) {
+	for _, p := range Patterns {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("traffic: unknown pattern %q", s)
+}
+
+// Dest returns the destination node ID for a packet injected at src under
+// the pattern, on a rows×cols grid. The permutation patterns use the
+// standard definitions over the log2(n)-bit node index (bit complement,
+// rotation, shuffle) and over (row, col) coordinates (tornado, transpose).
+// rng is consulted only by UniformRandom. Dest may return src for
+// self-addressed permutation results; callers typically skip those packets
+// (standard practice, matching Garnet).
+func Dest(p Pattern, src, rows, cols int, rng *rand.Rand) int {
+	n := rows * cols
+	switch p {
+	case UniformRandom:
+		return rng.Intn(n)
+	case Tornado:
+		// Half-ring offset in each dimension.
+		node := topo.NodeFromID(src, cols)
+		r := (node.Row + (rows-1)/2) % rows
+		c := (node.Col + (cols-1)/2) % cols
+		return topo.Node{Row: r, Col: c}.ID(cols)
+	case BitComplement:
+		b := bits.Len(uint(n - 1))
+		return ((^src) & (1<<b - 1)) % n
+	case BitRotation:
+		b := bits.Len(uint(n - 1))
+		rot := ((src >> 1) | (src << (b - 1))) & (1<<b - 1)
+		return rot % n
+	case Shuffle:
+		b := bits.Len(uint(n - 1))
+		sh := ((src << 1) | (src >> (b - 1))) & (1<<b - 1)
+		return sh % n
+	case Transpose:
+		node := topo.NodeFromID(src, cols)
+		// Transpose needs a square grid; for rectangles, mirror within
+		// bounds by swapping scaled coordinates.
+		if rows == cols {
+			return topo.Node{Row: node.Col, Col: node.Row}.ID(cols)
+		}
+		r := node.Col % rows
+		c := node.Row % cols
+		return topo.Node{Row: r, Col: c}.ID(cols)
+	}
+	panic(fmt.Sprintf("traffic: invalid pattern %d", int(p)))
+}
+
+// PacketClass distinguishes the paper's control and data packets.
+type PacketClass int
+
+// Packet classes (§5: control 8 B, data 72 B).
+const (
+	Control PacketClass = iota
+	Data
+)
+
+// Flits returns the flit count of a packet class given the link width in
+// bits (paper: 128-bit routerless links → 1/5 flits; 256-bit mesh links →
+// 1/3 flits).
+func Flits(c PacketClass, linkBits int) int {
+	bytes := 8
+	if c == Data {
+		bytes = 72
+	}
+	per := linkBits / 8
+	f := (bytes + per - 1) / per
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// Injector generates packet injections for one simulated cycle. It
+// implements the paper's Bernoulli process in flits/node/cycle, mixing
+// control and data packets.
+type Injector struct {
+	Rows, Cols int
+	Pattern    Pattern
+	// Rate is the offered load in flits/node/cycle.
+	Rate float64
+	// DataFraction is the fraction of packets that are data packets
+	// (default 0.5 when constructed by NewInjector).
+	DataFraction float64
+	// LinkBits sets flit sizing (e.g. 128 for routerless, 256 for mesh).
+	LinkBits int
+
+	rng *rand.Rand
+}
+
+// NewInjector builds an injector with the paper's defaults: 50/50
+// control/data mix over the given link width.
+func NewInjector(rows, cols int, p Pattern, rate float64, linkBits int, seed int64) *Injector {
+	return &Injector{
+		Rows: rows, Cols: cols,
+		Pattern:      p,
+		Rate:         rate,
+		DataFraction: 0.5,
+		LinkBits:     linkBits,
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// avgFlitsPerPacket returns the expected packet size under the mix.
+func (in *Injector) avgFlitsPerPacket() float64 {
+	fc := float64(Flits(Control, in.LinkBits))
+	fd := float64(Flits(Data, in.LinkBits))
+	return (1-in.DataFraction)*fc + in.DataFraction*fd
+}
+
+// Request is one packet injection request.
+type Request struct {
+	Src, Dst int
+	Class    PacketClass
+	NumFlits int
+}
+
+// Tick returns the injection requests for one cycle across all nodes.
+// Packets whose pattern maps a node to itself are skipped.
+func (in *Injector) Tick() []Request {
+	var out []Request
+	n := in.Rows * in.Cols
+	pPacket := in.Rate / in.avgFlitsPerPacket()
+	for src := 0; src < n; src++ {
+		if in.rng.Float64() >= pPacket {
+			continue
+		}
+		dst := Dest(in.Pattern, src, in.Rows, in.Cols, in.rng)
+		if dst == src {
+			continue
+		}
+		class := Control
+		if in.rng.Float64() < in.DataFraction {
+			class = Data
+		}
+		out = append(out, Request{
+			Src: src, Dst: dst,
+			Class:    class,
+			NumFlits: Flits(class, in.LinkBits),
+		})
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV writes rows as RFC-4180-ish comma-separated values; cells containing
+// commas or quotes are quoted. The cmd tools use it to export sweep
+// results for external plotting.
+func CSV(w io.Writer, rows [][]string) error {
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			cells[i] = c
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CurveCSV renders a load-latency sweep as CSV rows with a header.
+func CurveCSV(w io.Writer, rates, latencies, throughputs []float64) error {
+	rows := [][]string{{"injection_rate", "avg_latency_cycles", "throughput_flits_node_cycle"}}
+	for i := range rates {
+		row := []string{fmtF(rates[i]), "", ""}
+		if i < len(latencies) {
+			row[1] = fmtF(latencies[i])
+		}
+		if i < len(throughputs) {
+			row[2] = fmtF(throughputs[i])
+		}
+		rows = append(rows, row)
+	}
+	return CSV(w, rows)
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }

@@ -1,0 +1,43 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVQuoting(t *testing.T) {
+	var b strings.Builder
+	err := CSV(&b, [][]string{
+		{"a", "b,c", `d"e`},
+		{"1", "2", "3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if lines[0] != `a,"b,c","d""e"` {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,2,3" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestCurveCSV(t *testing.T) {
+	var b strings.Builder
+	err := CurveCSV(&b, []float64{0.01, 0.02}, []float64{9.5, 10.25}, []float64{0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "injection_rate,") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "0.01,9.5,0.01") {
+		t.Fatalf("missing first row: %q", out)
+	}
+	// Short throughput series leaves the cell empty rather than panicking.
+	if !strings.Contains(out, "0.02,10.25,\n") {
+		t.Fatalf("missing padded row: %q", out)
+	}
+}

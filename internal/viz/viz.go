@@ -1,0 +1,130 @@
+// Package viz renders topologies and result tables as ASCII for the cmd
+// tools, examples and EXPERIMENTS.md (e.g. the Figure 9 style loop
+// drawing).
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"routerless/internal/topo"
+)
+
+// TopologySummary renders a one-loop-per-line listing with headline
+// metrics, the textual equivalent of the paper's topology figures.
+func TopologySummary(t *topo.Topology) string {
+	var b strings.Builder
+	mean, un := t.AverageHops()
+	fmt.Fprintf(&b, "%dx%d routerless NoC: %d loops, max overlap %d, avg hops %.3f",
+		t.Rows(), t.Cols(), t.NumLoops(), t.MaxOverlap(), mean)
+	if un > 0 {
+		fmt.Fprintf(&b, " (%d unconnected pairs)", un)
+	}
+	b.WriteByte('\n')
+	for i, l := range t.Loops() {
+		fmt.Fprintf(&b, "  loop %2d: %s len=%d\n", i, l, l.Len())
+	}
+	return b.String()
+}
+
+// OverlapGrid draws the per-node loop counts as a grid, showing where the
+// wiring budget is spent.
+func OverlapGrid(t *topo.Topology) string {
+	var b strings.Builder
+	for r := 0; r < t.Rows(); r++ {
+		for c := 0; c < t.Cols(); c++ {
+			fmt.Fprintf(&b, "%3d", t.Overlap(topo.Node{Row: r, Col: c}))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LoopDrawing draws a single loop on the grid: corner/edge glyphs trace the
+// rectangle, with arrows indicating circulation direction on the top edge.
+func LoopDrawing(t *topo.Topology, loopIdx int) string {
+	l := t.Loops()[loopIdx]
+	var b strings.Builder
+	for r := 0; r < t.Rows(); r++ {
+		for c := 0; c < t.Cols(); c++ {
+			n := topo.Node{Row: r, Col: c}
+			ch := " . "
+			if l.Contains(n) {
+				switch {
+				case r == l.R1 && l.Dir == topo.Clockwise:
+					ch = " > "
+				case r == l.R1:
+					ch = " < "
+				case r == l.R2 && l.Dir == topo.Clockwise:
+					ch = " < "
+				case r == l.R2:
+					ch = " > "
+				case c == l.C1:
+					ch = " | "
+				default:
+					ch = " | "
+				}
+			}
+			b.WriteString(ch)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table renders rows with aligned columns; the first row is the header.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i := range row {
+				b.WriteString(strings.Repeat("-", widths[i]))
+				b.WriteString("  ")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Curve renders (x, y) series as aligned columns for latency-vs-injection
+// plots in text form.
+func Curve(header string, xs []float64, series map[string][]float64, names []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", header)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%12s", n)
+	}
+	b.WriteByte('\n')
+	for i, x := range xs {
+		fmt.Fprintf(&b, "%-10.3f", x)
+		for _, n := range names {
+			ys := series[n]
+			if i < len(ys) {
+				fmt.Fprintf(&b, "%12.2f", ys[i])
+			} else {
+				fmt.Fprintf(&b, "%12s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

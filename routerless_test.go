@@ -1,0 +1,117 @@
+package routerless_test
+
+import (
+	"testing"
+
+	"routerless"
+)
+
+func TestGenerateREC(t *testing.T) {
+	tp, err := routerless.GenerateREC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp.FullyConnected() || tp.MaxOverlap() != 6 {
+		t.Fatalf("REC 4x4: connected=%v overlap=%d", tp.FullyConnected(), tp.MaxOverlap())
+	}
+	if _, err := routerless.GenerateREC(1); err == nil {
+		t.Fatal("GenerateREC(1) should fail")
+	}
+}
+
+func TestGenerateGreedy(t *testing.T) {
+	tp := routerless.GenerateGreedy(4, 6)
+	if !tp.FullyConnected() {
+		t.Fatal("greedy 4x4 not connected")
+	}
+	if tp.MaxOverlap() > 6 {
+		t.Fatalf("overlap %d exceeds cap", tp.MaxOverlap())
+	}
+}
+
+func TestGenerateIMR(t *testing.T) {
+	tp := routerless.GenerateIMR(4, 1)
+	if tp == nil || tp.NumLoops() == 0 {
+		t.Fatal("IMR produced nothing")
+	}
+}
+
+func TestMeshAverageHops(t *testing.T) {
+	if got := routerless.MeshAverageHops(8); got < 5.2 || got > 5.4 {
+		t.Fatalf("mesh hops = %v", got)
+	}
+}
+
+func TestExploreEndToEnd(t *testing.T) {
+	design, err := routerless.Explore(routerless.ExploreOptions{
+		N: 4, OverlapCap: 6, Episodes: 8, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !design.Topology.FullyConnected() {
+		t.Fatal("explored design not connected")
+	}
+	if design.AvgHops <= 0 || design.Loops == 0 || design.ValidDesigns == 0 {
+		t.Fatalf("bad design record: %+v", design)
+	}
+}
+
+func TestExploreRejectsBadOptions(t *testing.T) {
+	if _, err := routerless.Explore(routerless.ExploreOptions{N: 4}); err == nil {
+		t.Fatal("missing overlap cap accepted")
+	}
+}
+
+func TestSimulateAndSweep(t *testing.T) {
+	tp, err := routerless.GenerateREC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := routerless.Simulate(tp, routerless.SimulateOptions{
+		Pattern: routerless.Transpose, Rate: 0.05,
+		WarmupCycles: 200, MeasureCycles: 2000, Seed: 4,
+	})
+	if res.PacketsDone == 0 || res.AvgLatency <= 0 {
+		t.Fatalf("bad sim result: %+v", res)
+	}
+	curve := routerless.SweepLatency(tp, routerless.SweepOptions{
+		Pattern:       routerless.UniformRandom,
+		Rates:         []float64{0.01, 0.1},
+		MeasureCycles: 2000, Seed: 4,
+	})
+	if len(curve) != 2 || curve[0].Latency >= curve[1].Latency {
+		t.Fatalf("curve not increasing: %+v", curve)
+	}
+	if routerless.SaturationThroughput(curve) <= 0 {
+		t.Fatal("saturation throughput zero")
+	}
+}
+
+func TestSimulateMeshDelays(t *testing.T) {
+	opt := routerless.SimulateOptions{
+		Pattern: routerless.UniformRandom, Rate: 0.02,
+		WarmupCycles: 200, MeasureCycles: 2000, Seed: 9,
+	}
+	lat2 := routerless.SimulateMesh(4, 2, opt).AvgLatency
+	lat0 := routerless.SimulateMesh(4, 0, opt).AvgLatency
+	if lat0 >= lat2 {
+		t.Fatalf("Mesh-0 latency %.2f not below Mesh-2 %.2f", lat0, lat2)
+	}
+}
+
+func TestActivityOf(t *testing.T) {
+	tp, _ := routerless.GenerateREC(4)
+	res := routerless.Simulate(tp, routerless.SimulateOptions{
+		Pattern: routerless.UniformRandom, Rate: 0.05,
+		WarmupCycles: 200, MeasureCycles: 2000, Seed: 4,
+	})
+	a := routerless.ActivityOf(res)
+	if a.FlitsPerNodeCycle <= 0 || a.FlitHopsPerNodeCycle <= a.FlitsPerNodeCycle {
+		t.Fatalf("activity = %+v", a)
+	}
+	p := routerless.DefaultPowerParams()
+	if p.Routerless(6, a).Total() <= 0 {
+		t.Fatal("power model returned nonpositive total")
+	}
+}
