@@ -1,0 +1,24 @@
+# Tier-1 verification gate (see ROADMAP.md): every PR must leave `make ci`
+# green. `make race` additionally race-tests the concurrent packages; `make
+# bench` is the quick no-regression smoke for the sim hot path.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/drl/... ./internal/sim/... ./internal/obs/... ./internal/mcts/...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"routerless/internal/exp"
+	"routerless/internal/obs"
 	"routerless/internal/viz"
 )
 
@@ -23,6 +24,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	csvPath := flag.String("csv", "", "also write the experiment rows as CSV to this path")
 	list := flag.Bool("list", false, "list experiment ids")
+	metricsPath := flag.String("metrics", "", "write a metrics snapshot as JSON to this path at exit")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address while running")
+	eventsPath := flag.String("events", "", "write structured JSONL run events to this path")
 	flag.Parse()
 
 	if *list {
@@ -47,11 +51,52 @@ func main() {
 		return
 	}
 
-	o := exp.Options{Quick: !*full, Seed: *seed}
+	var reg *obs.Registry
+	if *metricsPath != "" || *debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	var events *obs.Logger
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		events = obs.NewLogger(f, obs.LevelDebug)
+	}
+	if *debugAddr != "" {
+		d, err := obs.StartDebug(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		defer d.Close()
+		fmt.Fprintf(os.Stderr, "benchtab: debug endpoint on http://%s\n", d.Addr)
+	}
+	writeMetrics := func() {
+		if *metricsPath == "" {
+			return
+		}
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := reg.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsPath)
+	}
+
+	o := exp.Options{Quick: !*full, Seed: *seed, Metrics: reg, Events: events}
 	if *id == "all" {
 		for _, r := range exp.All(o) {
 			fmt.Println(r)
 		}
+		writeMetrics()
 		return
 	}
 	r, err := exp.ByID(*id, o)
@@ -74,4 +119,5 @@ func main() {
 		}
 		fmt.Printf("rows written to %s\n", *csvPath)
 	}
+	writeMetrics()
 }

@@ -6,15 +6,18 @@
 // Usage:
 //
 //	nocexplore -n 8 -cap 14 -episodes 200 -threads 4 -epsilon 0.1
+//	nocexplore -n 8 -episodes 500 -metrics search.json -events search.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"routerless/internal/drl"
 	"routerless/internal/nn"
+	"routerless/internal/obs"
 	"routerless/internal/rec"
 	"routerless/internal/stats"
 	"routerless/internal/viz"
@@ -35,7 +38,35 @@ func main() {
 	saveModel := flag.String("save-model", "", "write the trained policy/value model to this path")
 	loadModel := flag.String("load-model", "", "warm-start from a model saved by -save-model")
 	verbose := flag.Bool("v", false, "print every valid design")
+	metricsPath := flag.String("metrics", "", "write a metrics snapshot as JSON to this path at exit")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address while running")
+	eventsPath := flag.String("events", "", "write structured JSONL run events to this path")
+	progress := flag.Duration("progress", 10*time.Second, "interval between progress lines on stderr (0 = off)")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsPath != "" || *debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	var events *obs.Logger
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocexplore:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		events = obs.NewLogger(f, obs.LevelDebug)
+	}
+	if *debugAddr != "" {
+		d, err := obs.StartDebug(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocexplore:", err)
+			os.Exit(1)
+		}
+		defer d.Close()
+		fmt.Fprintf(os.Stderr, "nocexplore: debug endpoint on http://%s\n", d.Addr)
+	}
 
 	overlap := *cap
 	if overlap == 0 {
@@ -68,12 +99,50 @@ func main() {
 		cfg.InitWeights = net.GetWeights()
 	}
 
+	cfg.Metrics = reg
+	cfg.Events = events
+
 	s, err := drl.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nocexplore:", err)
 		os.Exit(1)
 	}
+	if *progress > 0 {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			tick := time.NewTicker(*progress)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					ep, valid := s.Progress()
+					fmt.Fprintf(os.Stderr, "nocexplore: progress %d/%d episodes, %d valid designs\n",
+						ep, *episodes, valid)
+				}
+			}
+		}()
+	}
 	res := s.Run()
+
+	writeMetrics := func() {
+		if *metricsPath == "" {
+			return
+		}
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocexplore:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := reg.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nocexplore:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsPath)
+	}
 
 	if *saveModel != "" && cfg.UseDNN {
 		net := nn.NewPolicyValueNet(cfg.NN, cfg.Seed)
@@ -85,12 +154,17 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nocexplore: save model:", err)
 		} else {
+			events.Info(obs.EventCheckpoint, map[string]any{
+				"path":     *saveModel,
+				"episodes": res.Episodes,
+			})
 			fmt.Printf("model saved to %s\n", *saveModel)
 		}
 	}
 
 	fmt.Printf("episodes: %d   tree states: %d   valid designs: %d\n",
 		res.Episodes, res.TreeSize, len(res.Valid))
+	writeMetrics()
 	if len(res.Valid) == 0 {
 		fmt.Println("no fully connected design found; increase -episodes or relax -cap")
 		os.Exit(2)

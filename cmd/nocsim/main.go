@@ -7,6 +7,7 @@
 //	nocsim -topo design.json -pattern uniform_random -rates 0.01,0.05,0.1
 //	nocsim -mesh 8 -delay 2 -pattern transpose -rates 0.02,0.04
 //	nocsim -topo design.json -app fluidanimate
+//	nocsim -mesh 8 -metrics out.json -events run.jsonl -debug-addr :6060
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"routerless/internal/obs"
 	"routerless/internal/sim"
 	"routerless/internal/stats"
 	"routerless/internal/topo"
@@ -35,7 +37,33 @@ func main() {
 	measure := flag.Int("measure", 10000, "measured cycles")
 	seed := flag.Int64("seed", 1, "random seed")
 	csvPath := flag.String("csv", "", "also write the sweep as CSV to this path")
+	metricsPath := flag.String("metrics", "", "write a metrics snapshot as JSON to this path at exit")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address while running")
+	eventsPath := flag.String("events", "", "write structured JSONL run events to this path")
+	progress := flag.Int("progress", 0, "print a progress line to stderr every N simulated cycles (0 = off)")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsPath != "" || *debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	var events *obs.Logger
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		events = obs.NewLogger(f, obs.LevelDebug)
+	}
+	if *debugAddr != "" {
+		d, err := obs.StartDebug(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer d.Close()
+		fmt.Fprintf(os.Stderr, "nocsim: debug endpoint on http://%s\n", d.Addr)
+	}
 
 	var mk func() sim.Network
 	var rows, cols, linkBits int
@@ -61,7 +89,33 @@ func main() {
 		fatal(fmt.Errorf("need -topo or -mesh"))
 	}
 
-	cfg := sim.RunConfig{WarmupCycles: *warmup, MeasureCycles: *measure, DrainCycles: 2 * *measure}
+	cfg := sim.RunConfig{
+		WarmupCycles: *warmup, MeasureCycles: *measure, DrainCycles: 2 * *measure,
+		Metrics: reg, Events: events,
+	}
+	label := ""
+	if *progress > 0 {
+		cfg.ProbeEvery = *progress
+		cfg.OnInterval = func(s sim.IntervalStats) {
+			fmt.Fprintf(os.Stderr, "nocsim: %s%s cycle=%d inflight=%d thr=%.4f buf=%d\n",
+				label, s.Phase, s.Cycle, s.InFlight, s.Throughput, s.BufferOccupancy)
+		}
+	}
+
+	writeMetrics := func() {
+		if *metricsPath == "" {
+			return
+		}
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := reg.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsPath)
+	}
 
 	if *app != "" {
 		profile, err := traffic.ParsecProfile(*app)
@@ -71,6 +125,7 @@ func main() {
 		src := traffic.NewAppInjector(profile, rows, cols, linkBits, *seed)
 		res := sim.Run(mk(), src, cfg)
 		fmt.Printf("app=%s %v\n", profile.Name, res)
+		writeMetrics()
 		return
 	}
 
@@ -85,9 +140,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		label = fmt.Sprintf("rate=%.4f ", r)
 		src := traffic.NewInjector(rows, cols, p, r, linkBits, *seed)
 		res := sim.Run(mk(), src, cfg)
 		points = append(points, sim.SweepPoint{Rate: r, Result: res})
+		events.Info(obs.EventSweepPoint, map[string]any{
+			"rate":        r,
+			"avg_latency": res.AvgLatency,
+			"p99_latency": res.LatencyP99,
+			"throughput":  res.Throughput,
+			"avg_hops":    res.AvgHops,
+			"saturated":   res.Saturated,
+		})
 		flagStr := ""
 		if res.Saturated {
 			flagStr = "SATURATED"
@@ -116,6 +180,7 @@ func main() {
 		}
 		fmt.Printf("sweep written to %s\n", *csvPath)
 	}
+	writeMetrics()
 }
 
 func fatal(err error) {

@@ -17,6 +17,7 @@ import (
 
 	"routerless/internal/mcts"
 	"routerless/internal/nn"
+	"routerless/internal/obs"
 	"routerless/internal/rl"
 	"routerless/internal/topo"
 )
@@ -69,6 +70,14 @@ type Config struct {
 	// InitWeights, when non-nil, warm-starts the policy/value network
 	// (e.g. from a model saved by a previous search).
 	InitWeights []float64
+	// Metrics, when non-nil, receives search telemetry: per-worker episode
+	// counters, episode reward / value-MSE gauges, gradient norms pre/post
+	// clip, the update counter, and MCTS tree size.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives structured run events: run_start and
+	// run_stop at info level plus one episode event per exploration cycle
+	// at debug level.
+	Events *obs.Logger
 }
 
 // DefaultConfig returns a balanced configuration for an n×n search under
@@ -153,7 +162,7 @@ func New(cfg Config) (*Searcher, error) {
 			return nil, fmt.Errorf("drl: InitWeights has %d values, network needs %d",
 				len(init), master.NumParams())
 		}
-		s.server = newParamServer(init, cfg.LR, cfg.GradClip)
+		s.server = newParamServer(init, cfg.LR, cfg.GradClip, cfg.Metrics)
 	}
 	return s, nil
 }
@@ -177,9 +186,27 @@ func MustNew(cfg Config) *Searcher {
 	return s
 }
 
+// Progress reports the episodes completed and valid designs found so far;
+// safe to call concurrently with Run (e.g. from a progress-printing
+// goroutine).
+func (s *Searcher) Progress() (episodes, valid int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.episode, len(s.result.Valid)
+}
+
 // Run executes the configured exploration cycles and returns the search
 // result. With Threads == 1 the run is deterministic in Seed.
 func (s *Searcher) Run() *Result {
+	s.cfg.Events.Info(obs.EventRunStart, map[string]any{
+		"n":        s.cfg.N,
+		"cap":      s.cfg.OverlapCap,
+		"episodes": s.cfg.Episodes,
+		"threads":  s.cfg.Threads,
+		"epsilon":  s.cfg.Epsilon,
+		"use_dnn":  s.cfg.UseDNN,
+		"use_mcts": s.cfg.UseMCTS,
+	})
 	var wg sync.WaitGroup
 	perThread := s.cfg.Episodes / s.cfg.Threads
 	extra := s.cfg.Episodes % s.cfg.Threads
@@ -199,9 +226,19 @@ func (s *Searcher) Run() *Result {
 	}
 	wg.Wait()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.result.TreeSize = s.tree.Size()
 	out := s.result
+	s.mu.Unlock()
+	stop := map[string]any{
+		"episodes":  out.Episodes,
+		"valid":     len(out.Valid),
+		"tree_size": out.TreeSize,
+	}
+	if out.Best.Topo != nil {
+		stop["best_hops"] = out.Best.AvgHops
+		stop["best_loops"] = out.Best.Loops
+	}
+	s.cfg.Events.Info(obs.EventRunStop, stop)
 	return &out
 }
 
@@ -216,6 +253,15 @@ func (s *Searcher) worker(tid, episodes int) {
 		net.SetWeights(s.server.snapshot())
 	}
 	a2c := rl.A2C{Gamma: s.cfg.Gamma, ValueCoeff: 0.5}
+	// Metric handles are resolved once per worker; all of them are no-ops
+	// when the search runs without a registry.
+	reg := s.cfg.Metrics
+	epCounter := reg.Counter(fmt.Sprintf("drl.worker.%02d.episodes", tid))
+	rewardGauge := reg.Gauge("drl.episode_reward")
+	rewardHist := reg.Histogram("drl.episode_reward_hist", rewardBuckets())
+	mseGauge := reg.Gauge("drl.value_mse")
+	validCounter := reg.Counter("drl.valid_designs")
+	treeGauge := reg.Gauge("drl.tree_size")
 	// The guided-phase length self-paces: episodes that dead-end without
 	// a complete design shorten the guided prefix (exploring closer to
 	// the reliable completion heuristic); successes lengthen it back up
@@ -266,7 +312,43 @@ func (s *Searcher) worker(tid, episodes int) {
 			}
 		}
 		s.mu.Unlock()
+
+		epCounter.Inc()
+		rewardGauge.Set(traj.Final)
+		rewardHist.Observe(traj.Final)
+		if net != nil {
+			mseGauge.Set(mse)
+		}
+		if design != nil {
+			validCounter.Inc()
+		}
+		if s.cfg.UseMCTS && reg != nil {
+			treeGauge.Set(float64(s.tree.Size()))
+		}
+		if s.cfg.Events.Enabled(obs.LevelDebug) {
+			fields := map[string]any{
+				"episode": epNum,
+				"worker":  tid,
+				"reward":  traj.Final,
+				"steps":   len(traj.Steps),
+				"valid":   design != nil,
+			}
+			if net != nil {
+				fields["value_mse"] = mse
+			}
+			if design != nil {
+				fields["avg_hops"] = design.AvgHops
+				fields["loops"] = design.Loops
+			}
+			s.cfg.Events.Debug(obs.EventEpisode, fields)
+		}
 	}
+}
+
+// rewardBuckets spans the final-reward range: large negative penalties for
+// incomplete designs through small positive hop-improvement rewards.
+func rewardBuckets() []float64 {
+	return []float64{-1000, -300, -100, -30, -10, -3, -1, 0, 1, 3, 10, 30}
 }
 
 // runEpisode performs one exploration cycle (Fig. 4) and returns the

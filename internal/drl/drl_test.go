@@ -189,7 +189,7 @@ func TestWarmStartWeights(t *testing.T) {
 }
 
 func TestParamServer(t *testing.T) {
-	ps := newParamServer([]float64{1, 2}, 0.5, 1)
+	ps := newParamServer([]float64{1, 2}, 0.5, 1, nil)
 	ps.apply([]float64{2, -4}) // clipped to [1, -1]
 	w := ps.snapshot()
 	if w[0] != 0.5 || w[1] != 2.5 {
@@ -206,7 +206,7 @@ func TestParamServer(t *testing.T) {
 }
 
 func TestParamServerLengthMismatchPanics(t *testing.T) {
-	ps := newParamServer([]float64{1}, 0.1, 0)
+	ps := newParamServer([]float64{1}, 0.1, 0, nil)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic")

@@ -1,0 +1,81 @@
+package drl
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"routerless/internal/obs"
+)
+
+// TestSearchPopulatesTelemetry runs a small instrumented search and checks
+// the per-worker counters, gradient gauges, tree size, and event stream.
+func TestSearchPopulatesTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	cfg := quickCfg(4, 6, 6)
+	cfg.Threads = 2
+	cfg.Metrics = reg
+	cfg.Events = obs.NewLogger(&buf, obs.LevelDebug)
+	res := MustNew(cfg).Run()
+
+	s := reg.Snapshot()
+	perWorker := int64(0)
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, "drl.worker.") {
+			perWorker += v
+		}
+	}
+	if perWorker != int64(res.Episodes) {
+		t.Fatalf("per-worker episode counters sum to %d, want %d", perWorker, res.Episodes)
+	}
+	if s.Counters["drl.valid_designs"] != int64(len(res.Valid)) {
+		t.Fatalf("valid_designs = %d, want %d", s.Counters["drl.valid_designs"], len(res.Valid))
+	}
+	if s.Counters["drl.updates"] != int64(res.Episodes) {
+		t.Fatalf("updates = %d, want %d", s.Counters["drl.updates"], res.Episodes)
+	}
+	if _, ok := s.Gauges["drl.grad_norm_preclip"]; !ok {
+		t.Fatal("grad_norm_preclip gauge missing")
+	}
+	if _, ok := s.Gauges["drl.grad_norm_postclip"]; !ok {
+		t.Fatal("grad_norm_postclip gauge missing")
+	}
+	if got := s.Gauges["drl.tree_size"]; got <= 0 {
+		t.Fatalf("tree_size gauge = %v, want > 0", got)
+	}
+	if s.Histograms["drl.episode_reward_hist"].Count != int64(res.Episodes) {
+		t.Fatalf("reward histogram count = %d, want %d",
+			s.Histograms["drl.episode_reward_hist"].Count, res.Episodes)
+	}
+
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event line: %v", err)
+		}
+		kinds[e.Event]++
+	}
+	if kinds[obs.EventRunStart] != 1 || kinds[obs.EventRunStop] != 1 {
+		t.Fatalf("run_start/run_stop = %d/%d", kinds[obs.EventRunStart], kinds[obs.EventRunStop])
+	}
+	if kinds[obs.EventEpisode] != res.Episodes {
+		t.Fatalf("episode events = %d, want %d", kinds[obs.EventEpisode], res.Episodes)
+	}
+}
+
+// TestProgressDuringRun checks the Progress probe ends at the final tally.
+func TestProgressDuringRun(t *testing.T) {
+	s := MustNew(quickCfg(4, 6, 4))
+	res := s.Run()
+	ep, valid := s.Progress()
+	if ep != res.Episodes || valid != len(res.Valid) {
+		t.Fatalf("Progress() = (%d, %d), want (%d, %d)", ep, valid, res.Episodes, len(res.Valid))
+	}
+}

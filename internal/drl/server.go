@@ -1,6 +1,11 @@
 package drl
 
-import "sync"
+import (
+	"math"
+	"sync"
+
+	"routerless/internal/obs"
+)
 
 // paramServer is the parent thread's shared parameter store (§4.6, Fig. 8):
 // child learners pull weight snapshots and push gradients; the server
@@ -13,11 +18,25 @@ type paramServer struct {
 	lr      float64
 	clip    float64
 	updates int
+
+	// Telemetry (nil-safe no-ops when the search runs without a registry):
+	// L2 gradient norms before and after element-wise clipping, and the
+	// applied-update counter.
+	gradPre  *obs.Gauge
+	gradPost *obs.Gauge
+	updateC  *obs.Counter
 }
 
-func newParamServer(init []float64, lr, clip float64) *paramServer {
+func newParamServer(init []float64, lr, clip float64, reg *obs.Registry) *paramServer {
 	w := append([]float64(nil), init...)
-	return &paramServer{weights: w, lr: lr, clip: clip}
+	return &paramServer{
+		weights:  w,
+		lr:       lr,
+		clip:     clip,
+		gradPre:  reg.Gauge("drl.grad_norm_preclip"),
+		gradPost: reg.Gauge("drl.grad_norm_postclip"),
+		updateC:  reg.Counter("drl.updates"),
+	}
 }
 
 // snapshot copies the current weights.
@@ -34,7 +53,14 @@ func (ps *paramServer) apply(grads []float64) {
 	if len(grads) != len(ps.weights) {
 		panic("drl: gradient/weight length mismatch")
 	}
+	// Norms are only accumulated when a registry was attached, keeping the
+	// un-instrumented path free of the extra multiplies.
+	track := ps.gradPre != nil
+	preSq, postSq := 0.0, 0.0
 	for i, g := range grads {
+		if track {
+			preSq += g * g
+		}
 		if ps.clip > 0 {
 			if g > ps.clip {
 				g = ps.clip
@@ -42,9 +68,17 @@ func (ps *paramServer) apply(grads []float64) {
 				g = -ps.clip
 			}
 		}
+		if track {
+			postSq += g * g
+		}
 		ps.weights[i] -= ps.lr * g
 	}
 	ps.updates++
+	if track {
+		ps.gradPre.Set(math.Sqrt(preSq))
+		ps.gradPost.Set(math.Sqrt(postSq))
+		ps.updateC.Inc()
+	}
 }
 
 // updateCount returns how many gradient pushes have been applied.

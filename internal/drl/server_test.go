@@ -1,0 +1,107 @@
+package drl
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"routerless/internal/obs"
+)
+
+// TestParamServerClipBoundary pins the element-wise clipping behaviour at
+// and around the ±clip boundary (Eqs. 19–20: gradients are clipped, then
+// applied with -lr).
+func TestParamServerClipBoundary(t *testing.T) {
+	const lr, clip = 0.1, 1.0
+	cases := []struct {
+		name string
+		grad float64
+		want float64 // resulting weight after one update from 0
+	}{
+		{"inside", 0.5, -0.05},
+		{"at +clip", clip, -0.1},
+		{"just above +clip", clip + 1e-9, -0.1},
+		{"far above +clip", 100, -0.1},
+		{"at -clip", -clip, 0.1},
+		{"just below -clip", -clip - 1e-9, 0.1},
+		{"far below -clip", -100, 0.1},
+		{"zero", 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ps := newParamServer([]float64{0}, lr, clip, nil)
+			ps.apply([]float64{tc.grad})
+			got := ps.snapshot()[0]
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("weight after grad %v = %v, want %v", tc.grad, got, tc.want)
+			}
+			if ps.updateCount() != 1 {
+				t.Fatalf("updateCount = %d, want 1", ps.updateCount())
+			}
+		})
+	}
+}
+
+// TestParamServerNoClip verifies clip <= 0 disables clipping entirely.
+func TestParamServerNoClip(t *testing.T) {
+	ps := newParamServer([]float64{0}, 1, 0, nil)
+	ps.apply([]float64{42})
+	if got := ps.snapshot()[0]; got != -42 {
+		t.Fatalf("weight = %v, want -42", got)
+	}
+}
+
+// TestParamServerConcurrentSnapshotApply hammers snapshot/apply from many
+// goroutines; run with -race to verify the lock discipline. Every applied
+// gradient moves all weights in lockstep, so any snapshot must be uniform.
+func TestParamServerConcurrentSnapshotApply(t *testing.T) {
+	const dim, workers, iters = 64, 8, 200
+	ps := newParamServer(make([]float64, dim), 0.01, 1.0, nil)
+	grads := make([]float64, dim)
+	for i := range grads {
+		grads[i] = 0.5
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ps.apply(grads)
+				snap := ps.snapshot()
+				for j := 1; j < dim; j++ {
+					if snap[j] != snap[0] {
+						t.Errorf("torn snapshot: w[%d]=%v != w[0]=%v", j, snap[j], snap[0])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ps.updateCount(); got != workers*iters {
+		t.Fatalf("updateCount = %d, want %d", got, workers*iters)
+	}
+	want := -0.01 * 0.5 * float64(workers*iters)
+	if got := ps.snapshot()[0]; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("final weight = %v, want %v", got, want)
+	}
+}
+
+// TestParamServerGradNormGauges verifies the pre/post-clip L2 norms and
+// update counter reach the registry.
+func TestParamServerGradNormGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	ps := newParamServer(make([]float64, 2), 0.1, 1.0, reg)
+	ps.apply([]float64{3, -4}) // pre-clip norm 5; clipped to (1,-1), norm sqrt(2)
+	s := reg.Snapshot()
+	if got := s.Gauges["drl.grad_norm_preclip"]; math.Abs(got-5) > 1e-12 {
+		t.Fatalf("preclip norm = %v, want 5", got)
+	}
+	if got := s.Gauges["drl.grad_norm_postclip"]; math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Fatalf("postclip norm = %v, want sqrt(2)", got)
+	}
+	if s.Counters["drl.updates"] != 1 {
+		t.Fatalf("updates = %d, want 1", s.Counters["drl.updates"])
+	}
+}

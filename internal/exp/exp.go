@@ -12,6 +12,7 @@ import (
 
 	"routerless/internal/drl"
 	"routerless/internal/imr"
+	"routerless/internal/obs"
 	"routerless/internal/rec"
 	"routerless/internal/rl"
 	"routerless/internal/sim"
@@ -28,6 +29,17 @@ type Options struct {
 	Quick bool
 	// Seed drives every stochastic component.
 	Seed int64
+	// Metrics/Events, when non-nil, are threaded into the DRL searches the
+	// experiments run, so benchtab's -metrics/-events/-debug-addr flags
+	// observe the long-running search phases.
+	Metrics *obs.Registry
+	Events  *obs.Logger
+}
+
+// instrument attaches the options' telemetry sinks to a search config.
+func (o Options) instrument(cfg *drl.Config) {
+	cfg.Metrics = o.Metrics
+	cfg.Events = o.Events
 }
 
 // Report is one regenerated artifact.
@@ -103,6 +115,7 @@ func DRLDesign(n, cap int, o Options) *topo.Topology {
 	cfg := drl.DefaultConfig(n, cap)
 	cfg.Episodes = searchEpisodes(n, o.Quick)
 	cfg.Seed = o.Seed
+	o.instrument(&cfg)
 	if n > 10 {
 		// The full-resolution DNN input (N²×N²) is prohibitive beyond
 		// 10x10 within experiment budgets; the framework runs in its

@@ -42,6 +42,7 @@ func Section61Threads(o Options) *Report {
 		cfg.Episodes = episodes
 		cfg.Threads = threads
 		cfg.Seed = o.Seed
+		o.instrument(&cfg)
 		start := time.Now()
 		res := drl.MustNew(cfg).Run()
 		elapsed := time.Since(start).Round(time.Millisecond)
@@ -49,12 +50,9 @@ func Section61Threads(o Options) *Report {
 		for _, d := range res.Valid {
 			hops = append(hops, d.AvgHops)
 		}
-		min, sd := 0.0, 0.0
-		if len(hops) > 0 {
-			min, sd = stats.Min(hops), stats.StdDev(hops)
-		}
 		r.Add(fmt.Sprintf("%d", threads), fmt.Sprintf("%d", episodes),
-			elapsed.String(), fmt.Sprintf("%d", len(res.Valid)), f(min), fmt.Sprintf("%.4f", sd))
+			elapsed.String(), fmt.Sprintf("%d", len(res.Valid)),
+			f(stats.Min(hops)), fmt.Sprintf("%.4f", stats.StdDev(hops)))
 	}
 	return r
 }
@@ -119,17 +117,15 @@ func AblationNoDNN(o Options) *Report {
 		cfg := drl.DefaultConfig(n, cap)
 		cfg.Episodes = episodes
 		cfg.Seed = o.Seed
+		o.instrument(&cfg)
 		mutate(&cfg)
 		res := drl.MustNew(cfg).Run()
 		var hops []float64
 		for _, d := range res.Valid {
 			hops = append(hops, d.AvgHops)
 		}
-		best, mean := 0.0, 0.0
-		if len(hops) > 0 {
-			best, mean = stats.Min(hops), stats.Mean(hops)
-		}
-		r.Add(name, fmt.Sprintf("%d/%d", len(res.Valid), episodes), f(best), f(mean))
+		r.Add(name, fmt.Sprintf("%d/%d", len(res.Valid), episodes),
+			f(stats.Min(hops)), f(stats.Mean(hops)))
 	}
 	run("full DRL", func(c *drl.Config) {})
 	run("no DNN (A1)", func(c *drl.Config) { c.UseDNN = false })

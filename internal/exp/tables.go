@@ -30,16 +30,16 @@ func Table1Epsilon(o Options) *Report {
 		cfg.Episodes = episodes
 		cfg.Epsilon = eps
 		cfg.Seed = o.Seed
+		o.instrument(&cfg)
 		res := drl.MustNew(cfg).Run()
 		var hops []float64
 		for _, d := range res.Valid {
 			hops = append(hops, d.AvgHops)
 		}
-		min, sd := 0.0, 0.0
-		if len(hops) > 0 {
-			min, sd = stats.Min(hops), stats.StdDev(hops)
-		}
-		r.Add(f(eps), fmt.Sprintf("%d/%d", len(res.Valid), episodes), f(min), fmt.Sprintf("%.4f", sd))
+		// Min/StdDev return 0 on an empty slice, matching the "no valid
+		// design" row the paper tables print.
+		r.Add(f(eps), fmt.Sprintf("%d/%d", len(res.Valid), episodes),
+			f(stats.Min(hops)), fmt.Sprintf("%.4f", stats.StdDev(hops)))
 	}
 	return r
 }

@@ -58,6 +58,26 @@ func (t *Tree) Size() int {
 	return len(t.nodes)
 }
 
+// TreeStats summarizes the tree for telemetry: stored states, total edges,
+// and the total visit count across all edges.
+type TreeStats struct {
+	Nodes  int
+	Edges  int
+	Visits int
+}
+
+// Stats returns the current tree statistics in one lock acquisition.
+func (t *Tree) Stats() TreeStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TreeStats{Nodes: len(t.nodes)}
+	for _, n := range t.nodes {
+		s.Edges += len(n.Edges)
+		s.Visits += n.SumN
+	}
+	return s
+}
+
 // Known reports whether the state has been expanded.
 func (t *Tree) Known(fp string) bool {
 	t.mu.Lock()

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestDebugServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.flits_injected").Add(42)
+	d, err := StartDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + d.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(get("/metrics"), &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	if snap.Counters["sim.flits_injected"] != 42 {
+		t.Fatalf("metrics snapshot = %+v", snap)
+	}
+	if !json.Valid(get("/debug/vars")) {
+		t.Fatal("/debug/vars not JSON")
+	}
+	if len(get("/debug/pprof/")) == 0 {
+		t.Fatal("/debug/pprof/ empty")
+	}
+}
+
+func TestDebugServerNilRegistryAndClose(t *testing.T) {
+	d, err := StartDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + d.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !json.Valid(body) {
+		t.Fatalf("nil-registry /metrics not JSON: %s", body)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilServer *DebugServer
+	if err := nilServer.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,315 @@
+// Package obs is the observability layer shared by the simulator, the DRL
+// search, and the CLIs: a concurrency-safe metrics registry (counters,
+// gauges, fixed-bucket histograms), a structured JSONL event logger, and
+// an optional debug HTTP endpoint (expvar + pprof). It is stdlib-only.
+//
+// Every type is nil-safe: a nil *Registry hands out nil metrics, and every
+// metric method on a nil receiver is a no-op. Instrumented code therefore
+// never branches on "is telemetry enabled" — it just calls Add/Set/Observe
+// on whatever the registry gave it, and pays a single nil check when
+// telemetry is off.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can be set to arbitrary values.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d to the gauge (CAS loop; safe under concurrency).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Buckets are defined by
+// ascending upper bounds; an implicit +Inf bucket catches the overflow.
+// Observe is lock-free: a binary search over the bounds plus two atomic
+// adds.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds (each bucket: v <= bound)
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    Gauge
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Bucket is one histogram bucket in a snapshot. UpperBound is +Inf for the
+// overflow bucket (serialized as the string "+Inf").
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// MarshalJSON renders +Inf as a string, since JSON has no infinity.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.UpperBound, 1) {
+		le = fmt.Sprintf("%g", b.UpperBound)
+	}
+	return json.Marshal(struct {
+		Le    string `json:"le"`
+		Count int64  `json:"count"`
+	}{le, b.Count})
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Mean returns the mean of the observations (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile approximates the q-th quantile (0..1) by linear interpolation
+// within the bucket containing it; the overflow bucket reports its lower
+// bound. Returns 0 when the histogram is empty.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	acc := int64(0)
+	lower := 0.0
+	for _, b := range h.Buckets {
+		prev := acc
+		acc += b.Count
+		if float64(acc) >= rank {
+			if math.IsInf(b.UpperBound, 1) || b.Count == 0 {
+				return lower
+			}
+			frac := (rank - float64(prev)) / float64(b.Count)
+			return lower + frac*(b.UpperBound-lower)
+		}
+		if !math.IsInf(b.UpperBound, 1) {
+			lower = b.UpperBound
+		}
+	}
+	return lower
+}
+
+// Snapshot is a consistent-enough copy of a registry's metrics (each value
+// is read atomically; the set of metrics is read under the registry lock).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Registry names and owns metrics. Metric lookup takes a mutex — callers
+// on hot paths should look metrics up once and keep the pointer; the
+// metric operations themselves are atomic and lock-free.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending upper bounds on first use (later bounds are ignored — the
+// first creation wins). A nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot copies every metric's current value. Safe to call concurrently
+// with metric updates. A nil registry returns an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Buckets: make([]Bucket, len(h.counts)),
+		}
+		for i := range h.counts {
+			ub := math.Inf(1)
+			if i < len(h.bounds) {
+				ub = h.bounds[i]
+			}
+			hs.Buckets[i] = Bucket{UpperBound: ub, Count: h.counts[i].Load()}
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// ExpvarVar returns the registry as an expvar-compatible variable whose
+// String() is the JSON snapshot; publish it with expvar.Publish or serve
+// it from a custom /debug/vars map.
+func (r *Registry) ExpvarVar() expvar.Var {
+	return expvar.Func(func() any { return r.Snapshot() })
+}
+
+// LatencyBuckets is the default bucket layout for packet-latency
+// histograms: roughly exponential from a few cycles to deep saturation.
+func LatencyBuckets() []float64 {
+	return []float64{5, 10, 20, 40, 80, 160, 320, 640, 1280, 2560, 5120, 10240}
+}

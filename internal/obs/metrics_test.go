@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("flits")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("flits") != c {
+		t.Fatal("counter lookup not idempotent")
+	}
+	g := r.Gauge("inflight")
+	g.Set(3.5)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+}
+
+func TestNilRegistryAndMetricsAreNops(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []float64{1, 2})
+	c.Inc()
+	c.Add(7)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{10, 20, 40})
+	for _, v := range []float64{1, 9, 10, 11, 25, 100} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if want := 1.0 + 9 + 10 + 11 + 25 + 100; s.Sum != want {
+		t.Fatalf("sum = %v, want %v", s.Sum, want)
+	}
+	counts := []int64{3, 1, 1, 1} // (<=10, <=20, <=40, +Inf)
+	for i, b := range s.Buckets {
+		if b.Count != counts[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, b.Count, counts[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[3].UpperBound, 1) {
+		t.Fatal("last bucket must be +Inf")
+	}
+	if got := s.Mean(); math.Abs(got-156.0/6) > 1e-12 {
+		t.Fatalf("mean = %v", got)
+	}
+	if q := s.Quantile(0.5); q <= 0 || q > 10 {
+		t.Fatalf("median = %v, want in (0, 10]", q)
+	}
+	if q := s.Quantile(1.0); q != 40 {
+		// The overflow bucket reports its lower bound.
+		t.Fatalf("q100 = %v, want 40", q)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("n")
+			h := r.Histogram("h", []float64{0.5})
+			for i := 0; i < per; i++ {
+				c.Inc()
+				r.Gauge("g").Set(float64(i))
+				h.Observe(float64(i % 2))
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Histogram("h", nil).Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestSnapshotJSONAndExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(2)
+	r.Gauge("b").Set(1.5)
+	r.Histogram("c", []float64{1}).Observe(3)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s struct {
+		Counters   map[string]int64   `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count   int64 `json:"count"`
+			Buckets []struct {
+				Le    string `json:"le"`
+				Count int64  `json:"count"`
+			} `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["a"] != 2 || s.Gauges["b"] != 1.5 || s.Histograms["c"].Count != 1 {
+		t.Fatalf("snapshot mismatch: %s", buf.String())
+	}
+	if got := s.Histograms["c"].Buckets[1].Le; got != "+Inf" {
+		t.Fatalf("overflow bucket le = %q, want +Inf", got)
+	}
+
+	ev := r.ExpvarVar().String()
+	if !json.Valid([]byte(ev)) {
+		t.Fatalf("expvar string is not valid JSON: %s", ev)
+	}
+	if !strings.Contains(ev, `"a":2`) {
+		t.Fatalf("expvar output missing counter: %s", ev)
+	}
+}

@@ -83,6 +83,9 @@ type Mesh struct {
 	inFlight  int
 	util      int64
 	utilSamps int64
+
+	injectedFlits  int64
+	deliveredFlits int64
 }
 
 // NewMesh builds a rows×cols mesh of VC wormhole routers.
@@ -197,6 +200,7 @@ func (m *Mesh) ejectOne(id int, rt *router) {
 func (m *Mesh) finish(f *meshFlit) {
 	p := f.pkt
 	p.remaining--
+	m.deliveredFlits++
 	if f.hops > p.Hops {
 		p.Hops = f.hops
 	}
@@ -352,11 +356,33 @@ func (m *Mesh) injectOne(id int) {
 		m.srcVC[id] = best
 	}
 	rt.inputs[mesh.Local].vcs[best].fifo.PushBack(f)
+	m.injectedFlits++
 	m.srcSent[id]++
 	if m.srcSent[id] == p.NumFlits {
 		m.srcQueue[id] = q[1:]
 		m.srcSent[id] = 0
 	}
+}
+
+// InjectedFlits returns the number of flits placed into local input VCs.
+func (m *Mesh) InjectedFlits() int64 { return m.injectedFlits }
+
+// DeliveredFlits returns the number of flits ejected at destinations.
+func (m *Mesh) DeliveredFlits() int64 { return m.deliveredFlits }
+
+// BufferOccupancy returns the number of flits currently held in input-VC
+// FIFOs across all routers (flits in the pipeline registers excluded), the
+// per-interval congestion probe for the telemetry layer.
+func (m *Mesh) BufferOccupancy() int {
+	n := 0
+	for _, rt := range m.routers {
+		for _, ip := range rt.inputs {
+			for _, vc := range ip.vcs {
+				n += vc.fifo.Len()
+			}
+		}
+	}
+	return n
 }
 
 // LinkUtilization implements Network: mean in-transit flits per link

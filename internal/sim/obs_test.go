@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"routerless/internal/obs"
+	"routerless/internal/rec"
+	"routerless/internal/traffic"
+)
+
+// runInstrumented drives a small REC ring with full telemetry enabled.
+func runInstrumented(t *testing.T, reg *obs.Registry, events *obs.Logger, onInterval func(IntervalStats)) Result {
+	t.Helper()
+	topo := rec.MustGenerate(4)
+	src := traffic.NewInjector(4, 4, traffic.UniformRandom, 0.02, 128, 1)
+	cfg := RunConfig{
+		WarmupCycles: 100, MeasureCycles: 400, DrainCycles: 800,
+		Metrics: reg, Events: events, ProbeEvery: 50, OnInterval: onInterval,
+	}
+	return Run(NewRing(topo, DefaultRingConfig()), src, cfg)
+}
+
+func TestRunPopulatesMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	res := runInstrumented(t, reg, nil, nil)
+	if res.PacketsDone == 0 {
+		t.Fatal("no packets delivered")
+	}
+	s := reg.Snapshot()
+	lat := s.Histograms["sim.latency_cycles"]
+	if lat.Count != int64(res.PacketsDone) {
+		t.Fatalf("latency histogram count = %d, want %d", lat.Count, res.PacketsDone)
+	}
+	if len(lat.Buckets) == 0 {
+		t.Fatal("latency histogram has no buckets")
+	}
+	if s.Counters["sim.packets_sent"] != int64(res.PacketsSent) {
+		t.Fatalf("packets_sent = %d, want %d", s.Counters["sim.packets_sent"], res.PacketsSent)
+	}
+	if s.Counters["sim.flits_ejected"] == 0 {
+		t.Fatal("no ejected flits counted")
+	}
+	if s.Histograms["sim.interval_throughput_hist"].Count == 0 {
+		t.Fatal("no interval throughput samples")
+	}
+	if _, ok := s.Gauges["sim.buffer_occupancy"]; !ok {
+		t.Fatal("ring buffer occupancy gauge missing")
+	}
+}
+
+func TestRunEmitsEventsAndIntervals(t *testing.T) {
+	var buf bytes.Buffer
+	var intervals []IntervalStats
+	runInstrumented(t, nil, obs.NewLogger(&buf, obs.LevelDebug), func(s IntervalStats) {
+		intervals = append(intervals, s)
+	})
+	if len(intervals) < 400/50 {
+		t.Fatalf("got %d interval callbacks, want >= %d", len(intervals), 400/50)
+	}
+	for _, s := range intervals {
+		if s.Phase != "measure" && s.Phase != "drain" {
+			t.Fatalf("bad phase %q", s.Phase)
+		}
+		if s.BufferOccupancy < 0 {
+			t.Fatal("ring must report buffer occupancy")
+		}
+	}
+
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event line: %v", err)
+		}
+		kinds[e.Event]++
+	}
+	if kinds[obs.EventRunStart] != 1 || kinds[obs.EventRunStop] != 1 {
+		t.Fatalf("run_start/run_stop = %d/%d, want 1/1", kinds[obs.EventRunStart], kinds[obs.EventRunStop])
+	}
+	if kinds[obs.EventInterval] != len(intervals) {
+		t.Fatalf("interval events = %d, callbacks = %d", kinds[obs.EventInterval], len(intervals))
+	}
+}
+
+func TestMeshReportsProbes(t *testing.T) {
+	m := NewMesh(4, 4, MeshN(1))
+	src := traffic.NewInjector(4, 4, traffic.UniformRandom, 0.02, 256, 1)
+	reg := obs.NewRegistry()
+	res := Run(m, src, RunConfig{
+		WarmupCycles: 100, MeasureCycles: 400, DrainCycles: 800,
+		Metrics: reg, ProbeEvery: 50,
+	})
+	if res.PacketsDone == 0 {
+		t.Fatal("no packets delivered")
+	}
+	if m.InjectedFlits() == 0 || m.DeliveredFlits() == 0 {
+		t.Fatal("mesh flit counters did not advance")
+	}
+	if m.BufferOccupancy() < 0 {
+		t.Fatal("negative buffer occupancy")
+	}
+	if reg.Snapshot().Counters["sim.flits_ejected"] == 0 {
+		t.Fatal("mesh ejected flits not counted")
+	}
+}
+
+func TestResultStringIncludesP99AndSaturated(t *testing.T) {
+	r := Result{Cycles: 10, AvgLatency: 5, LatencyP99: 9.5}
+	if s := r.String(); !strings.Contains(s, "p99=9.50") || strings.Contains(s, "SATURATED") {
+		t.Fatalf("String() = %q", s)
+	}
+	r.Saturated = true
+	if s := r.String(); !strings.Contains(s, "SATURATED") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -280,6 +280,17 @@ func (r *Ring) InjectedFlits() int64 { return r.injectedFlits }
 // DeliveredFlits returns the number of flits ejected at destinations.
 func (r *Ring) DeliveredFlits() int64 { return r.deliveredFlits }
 
+// BufferOccupancy returns the number of flits currently parked in
+// extension buffers across all nodes, the ring model's only buffering
+// beyond the loop slots themselves.
+func (r *Ring) BufferOccupancy() int {
+	n := 0
+	for _, ext := range r.extension {
+		n += len(ext)
+	}
+	return n
+}
+
 // LoopUtilization returns the mean slot occupancy per loop, identifying
 // hot rings for power analysis and placement diagnostics.
 func (r *Ring) LoopUtilization() []float64 {

@@ -18,6 +18,7 @@ package sim
 import (
 	"fmt"
 
+	"routerless/internal/obs"
 	"routerless/internal/stats"
 	"routerless/internal/traffic"
 )
@@ -70,8 +71,12 @@ type Result struct {
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("cycles=%d sent=%d done=%d lat=%.2f hops=%.2f thr=%.4f util=%.3f",
-		r.Cycles, r.PacketsSent, r.PacketsDone, r.AvgLatency, r.AvgHops, r.Throughput, r.LinkUtilization)
+	s := fmt.Sprintf("cycles=%d sent=%d done=%d lat=%.2f p99=%.2f hops=%.2f thr=%.4f util=%.3f",
+		r.Cycles, r.PacketsSent, r.PacketsDone, r.AvgLatency, r.LatencyP99, r.AvgHops, r.Throughput, r.LinkUtilization)
+	if r.Saturated {
+		s += " SATURATED"
+	}
+	return s
 }
 
 // Source produces injection requests per cycle; both traffic.Injector and
@@ -90,6 +95,23 @@ type RunConfig struct {
 	// packets still in flight after the bound are abandoned (the run is
 	// then flagged Saturated).
 	DrainCycles int
+
+	// Metrics, when non-nil, receives run telemetry: the packet latency
+	// histogram (sim.latency_cycles), injected/ejected flit counters, and
+	// in-flight / buffer-occupancy / interval-throughput gauges.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives structured run events: run_start and
+	// run_stop at info level, one interval event per probe sample at debug
+	// level.
+	Events *obs.Logger
+	// ProbeEvery is the cycle interval between telemetry samples in the
+	// measurement and drain phases. Zero picks MeasureCycles/20 when any
+	// of Metrics, Events, or OnInterval is set, and disables interval
+	// probes otherwise. The probe costs one branch per cycle when idle.
+	ProbeEvery int
+	// OnInterval, when set, observes every probe sample (e.g. to print
+	// progress lines to stderr).
+	OnInterval func(IntervalStats)
 }
 
 // DefaultRunConfig mirrors the paper's synthetic methodology scaled for
@@ -101,6 +123,7 @@ func DefaultRunConfig() RunConfig {
 // Run drives src over net per cfg and returns measurements for packets
 // injected during the measurement window.
 func Run(net Network, src Source, cfg RunConfig) Result {
+	probe := newRunProbe(net, cfg)
 	nextID := 0
 	injectTick := func(measured bool) (sent int, packets []*Packet) {
 		for _, r := range src.Tick() {
@@ -134,10 +157,12 @@ func Run(net Network, src Source, cfg RunConfig) Result {
 		res.PacketsSent += sent
 		measured = append(measured, ps...)
 		net.Step()
+		probe.tick("measure")
 	}
 	// Drain: no further injection.
 	for i := 0; i < cfg.DrainCycles && pending(measured) > 0; i++ {
 		net.Step()
+		probe.tick("drain")
 	}
 
 	var lat, hops []float64
@@ -159,7 +184,178 @@ func Run(net Network, src Source, cfg RunConfig) Result {
 	}
 	res.Throughput = float64(res.FlitsDone) / float64(cfg.MeasureCycles) / float64(net.Nodes())
 	res.LinkUtilization = net.LinkUtilization()
+	probe.finish(res, lat)
 	return res
+}
+
+// IntervalStats is one periodic telemetry sample of a running simulation.
+type IntervalStats struct {
+	// Cycle is the network cycle at the sample; Phase is "measure" or
+	// "drain".
+	Cycle int
+	Phase string
+	// InjectedFlits/EjectedFlits are deltas over the interval; zero when
+	// the network does not expose flit counters.
+	InjectedFlits, EjectedFlits int64
+	// InFlight is the number of packets injected but not delivered.
+	InFlight int
+	// BufferOccupancy counts flits parked in extension buffers (ring) or
+	// input-VC FIFOs (mesh); -1 when the network does not report it.
+	BufferOccupancy int
+	// Throughput is the accepted flits/node/cycle over the interval.
+	Throughput float64
+}
+
+// flitCounts is implemented by networks that count flits on and off the
+// fabric (Ring and Mesh both do).
+type flitCounts interface {
+	InjectedFlits() int64
+	DeliveredFlits() int64
+}
+
+// bufferOccupancy is implemented by networks that can report how many
+// flits are currently parked in buffers.
+type bufferOccupancy interface {
+	BufferOccupancy() int
+}
+
+// runProbe samples the network every ProbeEvery cycles and fans the sample
+// out to the metrics registry, the event logger, and the OnInterval
+// callback. A nil probe (telemetry disabled) costs one branch per cycle.
+type runProbe struct {
+	net   Network
+	cfg   RunConfig
+	every int
+	since int // cycles since the last sample
+
+	fc  flitCounts      // nil when the network has no flit counters
+	occ bufferOccupancy // nil when the network has no occupancy probe
+
+	lastInj, lastEject int64
+
+	injected, ejected *obs.Counter
+	inFlight, bufOcc  *obs.Gauge
+	intervalThr       *obs.Gauge
+	intervalThrHist   *obs.Histogram
+	latency           *obs.Histogram
+}
+
+// intervalThroughputBuckets covers accepted flits/node/cycle from trickle
+// to theoretical-max injection.
+func intervalThroughputBuckets() []float64 {
+	return []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1}
+}
+
+func newRunProbe(net Network, cfg RunConfig) *runProbe {
+	if cfg.Metrics == nil && cfg.Events == nil && cfg.OnInterval == nil {
+		return nil
+	}
+	every := cfg.ProbeEvery
+	if every <= 0 {
+		every = cfg.MeasureCycles / 20
+		if every < 1 {
+			every = 1
+		}
+	}
+	p := &runProbe{net: net, cfg: cfg, every: every}
+	p.fc, _ = net.(flitCounts)
+	p.occ, _ = net.(bufferOccupancy)
+	if p.fc != nil {
+		p.lastInj, p.lastEject = p.fc.InjectedFlits(), p.fc.DeliveredFlits()
+	}
+	reg := cfg.Metrics
+	p.injected = reg.Counter("sim.flits_injected")
+	p.ejected = reg.Counter("sim.flits_ejected")
+	p.inFlight = reg.Gauge("sim.inflight_packets")
+	p.bufOcc = reg.Gauge("sim.buffer_occupancy")
+	p.intervalThr = reg.Gauge("sim.interval_throughput")
+	p.intervalThrHist = reg.Histogram("sim.interval_throughput_hist", intervalThroughputBuckets())
+	p.latency = reg.Histogram("sim.latency_cycles", obs.LatencyBuckets())
+	cfg.Events.Info(obs.EventRunStart, map[string]any{
+		"nodes":   net.Nodes(),
+		"warmup":  cfg.WarmupCycles,
+		"measure": cfg.MeasureCycles,
+		"drain":   cfg.DrainCycles,
+	})
+	return p
+}
+
+// tick advances the probe by one cycle and samples when the interval
+// elapses.
+func (p *runProbe) tick(phase string) {
+	if p == nil {
+		return
+	}
+	p.since++
+	if p.since < p.every {
+		return
+	}
+	p.since = 0
+
+	s := IntervalStats{
+		Cycle:           p.net.Cycle(),
+		Phase:           phase,
+		InFlight:        p.net.InFlight(),
+		BufferOccupancy: -1,
+	}
+	if p.fc != nil {
+		inj, eject := p.fc.InjectedFlits(), p.fc.DeliveredFlits()
+		s.InjectedFlits, s.EjectedFlits = inj-p.lastInj, eject-p.lastEject
+		p.lastInj, p.lastEject = inj, eject
+		s.Throughput = float64(s.EjectedFlits) / float64(p.every) / float64(p.net.Nodes())
+	}
+	if p.occ != nil {
+		s.BufferOccupancy = p.occ.BufferOccupancy()
+	}
+
+	p.injected.Add(s.InjectedFlits)
+	p.ejected.Add(s.EjectedFlits)
+	p.inFlight.Set(float64(s.InFlight))
+	if s.BufferOccupancy >= 0 {
+		p.bufOcc.Set(float64(s.BufferOccupancy))
+	}
+	p.intervalThr.Set(s.Throughput)
+	p.intervalThrHist.Observe(s.Throughput)
+
+	if p.cfg.Events.Enabled(obs.LevelDebug) {
+		p.cfg.Events.Debug(obs.EventInterval, map[string]any{
+			"cycle":      s.Cycle,
+			"phase":      s.Phase,
+			"injected":   s.InjectedFlits,
+			"ejected":    s.EjectedFlits,
+			"inflight":   s.InFlight,
+			"buffer_occ": s.BufferOccupancy,
+			"throughput": s.Throughput,
+		})
+	}
+	if p.cfg.OnInterval != nil {
+		p.cfg.OnInterval(s)
+	}
+}
+
+// finish records the end-of-run measurements and emits the run_stop event.
+func (p *runProbe) finish(res Result, latencies []float64) {
+	if p == nil {
+		return
+	}
+	for _, l := range latencies {
+		p.latency.Observe(l)
+	}
+	reg := p.cfg.Metrics
+	reg.Counter("sim.packets_sent").Add(int64(res.PacketsSent))
+	reg.Counter("sim.packets_done").Add(int64(res.PacketsDone))
+	reg.Counter("sim.flits_done").Add(int64(res.FlitsDone))
+	p.cfg.Events.Info(obs.EventRunStop, map[string]any{
+		"cycles":      res.Cycles,
+		"sent":        res.PacketsSent,
+		"done":        res.PacketsDone,
+		"avg_latency": res.AvgLatency,
+		"p99_latency": res.LatencyP99,
+		"avg_hops":    res.AvgHops,
+		"throughput":  res.Throughput,
+		"link_util":   res.LinkUtilization,
+		"saturated":   res.Saturated,
+	})
 }
 
 func pending(ps []*Packet) int {

@@ -35,8 +35,12 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(s / float64(len(xs)))
 }
 
-// Min returns the minimum of xs; it panics on an empty slice.
+// Min returns the minimum of xs, or 0 for an empty slice (matching Mean;
+// callers that must distinguish "no samples" should check len first).
 func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
 	m := xs[0]
 	for _, x := range xs[1:] {
 		if x < m {
@@ -46,8 +50,12 @@ func Min(xs []float64) float64 {
 	return m
 }
 
-// Max returns the maximum of xs; it panics on an empty slice.
+// Max returns the maximum of xs, or 0 for an empty slice (matching Mean;
+// callers that must distinguish "no samples" should check len first).
 func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
 	m := xs[0]
 	for _, x := range xs[1:] {
 		if x > m {
@@ -58,8 +66,11 @@ func Max(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
-// interpolation; it panics on an empty slice.
+// interpolation, or 0 for an empty slice.
 func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
 	if p <= 0 {

@@ -34,6 +34,20 @@ func TestMinMax(t *testing.T) {
 	}
 }
 
+// Empty slices must not panic: like Mean, the order statistics degrade to
+// 0 so report rows for searches that found nothing stay printable.
+func TestEmptySlicesReturnZero(t *testing.T) {
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatalf("min/max on empty = %v/%v", Min(nil), Max(nil))
+	}
+	if Percentile(nil, 50) != 0 || Percentile([]float64{}, 99) != 0 {
+		t.Fatal("percentile on empty != 0")
+	}
+	if Min([]float64{5}) != 5 || Max([]float64{5}) != 5 {
+		t.Fatal("single-element min/max wrong")
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
 	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
