@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench bench-nn
 
 ci: vet build test race
 
@@ -21,4 +21,10 @@ race:
 	$(GO) test -race ./internal/drl/... ./internal/sim/... ./internal/obs/... ./internal/mcts/...
 
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' .
+
+# Quick kernel-iteration loop for the DNN hot path (im2col/GEMM convs,
+# scratch arenas): just the DNN/GEMM micro-benchmarks, with allocation
+# counts. Before/after numbers for PR 2 live in BENCH_PR2.json.
+bench-nn:
+	$(GO) test -bench 'BenchmarkDNN|BenchmarkGemm|BenchmarkIm2col' -benchmem -run '^$$' .

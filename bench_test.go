@@ -22,6 +22,7 @@ import (
 	"routerless/internal/rl"
 	"routerless/internal/search"
 	"routerless/internal/sim"
+	"routerless/internal/tensor"
 	"routerless/internal/topo"
 	"routerless/internal/traffic"
 )
@@ -205,6 +206,7 @@ func BenchmarkDNNForward(b *testing.B) {
 			for i := range in {
 				in[i] = rng.Float64() * 40
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				net.Forward(in, false)
@@ -225,12 +227,75 @@ func BenchmarkDNNTrainStep(b *testing.B) {
 	// Tiny learning rate with clipping: the bench repeats one gradient
 	// thousands of times, which would diverge at training rates.
 	sgd := nn.SGD{LR: 1e-6, Clip: 0.1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.Forward(st, true)
 		net.Backward(dl, 0.1, -0.5)
 		sgd.Step(net)
 	}
+}
+
+// BenchmarkGemm measures the blocked GEMM kernels on the shapes the conv
+// layers actually produce: "stem8x8" is the 8×8 net's stem convolution
+// (16 output channels, 9×9 kernel on a 64×64 map) and "conv2_8x8" its
+// second stage; "square128" is a reference cube. Reports GFLOP/s.
+func BenchmarkGemm(b *testing.B) {
+	for _, sz := range []struct {
+		name    string
+		m, n, k int
+	}{
+		{"stem8x8_16x4096x81", 16, 4096, 81},
+		{"conv2_8x8_32x1024x144", 32, 1024, 144},
+		{"square128", 128, 128, 128},
+	} {
+		b.Run(sz.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			a := make([]float64, sz.m*sz.k)
+			bb := make([]float64, sz.k*sz.n)
+			c := make([]float64, sz.m*sz.n)
+			for i := range a {
+				a[i] = rng.NormFloat64()
+			}
+			for i := range bb {
+				bb[i] = rng.NormFloat64()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.GemmNN(sz.m, sz.n, sz.k, a, bb, c, false)
+			}
+			flops := 2 * float64(sz.m) * float64(sz.n) * float64(sz.k)
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+		})
+	}
+}
+
+// BenchmarkIm2colConv pits the im2col+GEMM convolution against the
+// retained naive reference on one mid-sized layer (16→32 channels, 3×3
+// kernel, 32×32 map), forward plus backward.
+func BenchmarkIm2colConv(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.Randn(rng, 1, 16, 32, 32)
+	grad := tensor.Randn(rng, 1, 32, 32, 32)
+	b.Run("gemm", func(b *testing.B) {
+		l := nn.NewConv2D(rng, "c", 16, 32, 3)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l.Forward(x, true)
+			l.Backward(grad)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		l := nn.NewConv2D(rng, "c", 16, 32, 3)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l.NaiveForward(x)
+			l.NaiveBackward(grad)
+		}
+	})
 }
 
 func BenchmarkGreedyScan(b *testing.B) {

@@ -7,12 +7,14 @@
 //
 //	nocexplore -n 8 -cap 14 -episodes 200 -threads 4 -epsilon 0.1
 //	nocexplore -n 8 -episodes 500 -metrics search.json -events search.jsonl
+//	nocexplore -n 8 -episodes 200 -cpuprofile search.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"routerless/internal/drl"
@@ -40,6 +42,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print every valid design")
 	metricsPath := flag.String("metrics", "", "write a metrics snapshot as JSON to this path at exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address while running")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the search to this file (offline alternative to -debug-addr's /debug/pprof/)")
 	eventsPath := flag.String("events", "", "write structured JSONL run events to this path")
 	progress := flag.Duration("progress", 10*time.Second, "interval between progress lines on stderr (0 = off)")
 	flag.Parse()
@@ -125,7 +128,26 @@ func main() {
 			}
 		}()
 	}
+	// The profile brackets exactly the search (not flag parsing or report
+	// generation) and is stopped explicitly: the no-valid-design path exits
+	// with os.Exit, which would skip a deferred stop.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocexplore:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nocexplore:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
 	res := s.Run()
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+		fmt.Fprintf(os.Stderr, "nocexplore: cpu profile written to %s\n", *cpuProfile)
+	}
 
 	writeMetrics := func() {
 		if *metricsPath == "" {

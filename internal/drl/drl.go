@@ -248,9 +248,18 @@ func (s *Searcher) Run() *Result {
 func (s *Searcher) worker(tid, episodes int) {
 	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(tid)*7919))
 	var net *nn.PolicyValueNet
+	var weights, grads []float64
 	if s.cfg.UseDNN {
+		// Each worker owns its network — and with it the network's scratch
+		// arena (im2col buffers, activation/gradient tensors), which is
+		// not goroutine-safe. Only flat weight/grad vectors cross the
+		// worker boundary, through these per-worker reusable buffers, so
+		// the steady-state training loop performs no heap allocation.
 		net = nn.NewPolicyValueNet(s.cfg.NN, s.cfg.Seed+int64(tid))
-		net.SetWeights(s.server.snapshot())
+		weights = make([]float64, net.NumParams())
+		grads = make([]float64, net.NumParams())
+		s.server.snapshotInto(weights)
+		net.SetWeights(weights)
 	}
 	a2c := rl.A2C{Gamma: s.cfg.Gamma, ValueCoeff: 0.5}
 	// Metric handles are resolved once per worker; all of them are no-ops
@@ -292,9 +301,11 @@ func (s *Searcher) worker(tid, episodes int) {
 		if net != nil {
 			net.ZeroGrads()
 			mse = a2c.Accumulate(net, traj)
-			s.server.apply(net.GetGrads())
+			net.CopyGradsInto(grads)
+			s.server.apply(grads)
 			net.ZeroGrads()
-			net.SetWeights(s.server.snapshot())
+			s.server.snapshotInto(weights)
+			net.SetWeights(weights)
 		}
 
 		s.mu.Lock()

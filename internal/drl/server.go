@@ -46,6 +46,17 @@ func (ps *paramServer) snapshot() []float64 {
 	return append([]float64(nil), ps.weights...)
 }
 
+// snapshotInto copies the current weights into dst, the allocation-free
+// variant workers use every episode (dst is each worker's private buffer).
+func (ps *paramServer) snapshotInto(dst []float64) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if len(dst) != len(ps.weights) {
+		panic("drl: snapshot buffer/weight length mismatch")
+	}
+	copy(dst, ps.weights)
+}
+
 // apply performs one SGD step with the child's gradients (Eqs. 19–20).
 func (ps *paramServer) apply(grads []float64) {
 	ps.mu.Lock()

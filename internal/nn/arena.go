@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"fmt"
+
+	"routerless/internal/tensor"
+)
+
+// Arena owns a network's scratch memory: im2col column matrices, layer
+// outputs, and gradient tensors. Buffers are handed out through layer-held
+// handles and reused across steps, so a warmed-up Forward/Backward cycle
+// performs no heap allocation. An arena (and therefore a network and its
+// layers) is NOT safe for concurrent use: the ownership rule throughout
+// the framework is one arena per learner goroutine — each drl worker
+// builds its own network, which builds its own arena, so race-detected
+// multi-threaded searches never share scratch.
+type Arena struct {
+	floats int // total float64 capacity handed out (high-water bookkeeping)
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// ScratchFloats reports the total float64 scratch capacity this arena has
+// allocated, an observability hook for sizing the steady-state footprint.
+func (a *Arena) ScratchFloats() int { return a.floats }
+
+// slice resizes *p to length n, allocating only when capacity is
+// insufficient. Contents are unspecified: callers must fully overwrite or
+// zero the result.
+func (a *Arena) slice(p *[]float64, n int) []float64 {
+	s := *p
+	if cap(s) < n {
+		s = make([]float64, n)
+		a.floats += n
+	}
+	s = s[:n]
+	*p = s
+	return s
+}
+
+// tensorFor reshapes *p to the given shape, reusing its backing array when
+// capacity allows. Contents are unspecified, as with slice. The shape
+// slice must not be handed to fmt (or anything else that boxes it): that
+// would force every variadic call site to heap-allocate its dimension
+// list, defeating the arena.
+func (a *Arena) tensorFor(p **tensor.Tensor, shape ...int) *tensor.Tensor {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panicBadDim(s)
+		}
+		n *= s
+	}
+	t := *p
+	if t == nil {
+		t = &tensor.Tensor{}
+		*p = t
+	}
+	if cap(t.Data) < n {
+		t.Data = make([]float64, n)
+		a.floats += n
+	}
+	t.Data = t.Data[:n]
+	if cap(t.Shape) < len(shape) {
+		t.Shape = make([]int, len(shape))
+	}
+	t.Shape = t.Shape[:len(shape)]
+	copy(t.Shape, shape)
+	return t
+}
+
+//go:noinline
+func panicBadDim(s int) {
+	panic(fmt.Sprintf("nn: arena tensor with invalid dimension %d", s))
+}
+
+// ints resizes *p to n (contents unspecified).
+func (a *Arena) ints(p *[]int, n int) []int {
+	s := *p
+	if cap(s) < n {
+		s = make([]int, n)
+	}
+	s = s[:n]
+	*p = s
+	return s
+}
+
+// bools resizes *p to n (contents unspecified).
+func (a *Arena) bools(p *[]bool, n int) []bool {
+	s := *p
+	if cap(s) < n {
+		s = make([]bool, n)
+	}
+	s = s[:n]
+	*p = s
+	return s
+}
+
+// ensureArena lazily gives a standalone layer its own private arena; layers
+// assembled into a PolicyValueNet share the network's arena instead (see
+// attachArena).
+func ensureArena(pp **Arena) *Arena {
+	if *pp == nil {
+		*pp = NewArena()
+	}
+	return *pp
+}
+
+// attachArena points every layer in the tree at the network-owned arena.
+// Layers keep per-field buffer handles, so sharing one arena only shares
+// the bookkeeping, never the buffers themselves.
+func attachArena(a *Arena, l Layer) {
+	switch v := l.(type) {
+	case *Conv2D:
+		v.arena = a
+	case *BatchNorm:
+		v.arena = a
+	case *ReLU:
+		v.arena = a
+	case *MaxPool:
+		v.arena = a
+	case *Dense:
+		v.arena = a
+	case *Sequential:
+		for _, inner := range v.Layers {
+			attachArena(a, inner)
+		}
+	case *Residual:
+		v.arena = a
+		attachArena(a, v.Body)
+		attachArena(a, v.relu)
+	}
+}

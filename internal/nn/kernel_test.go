@@ -1,0 +1,163 @@
+package nn
+
+// Tests pinning the im2col + GEMM convolution path against the retained
+// naive reference (NaiveForward/NaiveBackward), checking its gradients by
+// central differences, and guarding the zero-allocation steady state of
+// the whole network.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"routerless/internal/tensor"
+)
+
+// convParityShapes covers odd/even spatial extents, K ∈ {1,3,5}, InC≠OutC,
+// and non-square maps.
+var convParityShapes = []struct{ inC, outC, k, h, w int }{
+	{1, 1, 1, 2, 3},
+	{1, 3, 1, 4, 5},
+	{2, 5, 3, 6, 6},
+	{3, 2, 3, 5, 8},
+	{4, 4, 3, 7, 7},
+	{2, 3, 5, 9, 6},
+	{1, 2, 5, 4, 4}, // kernel wider than half the map
+}
+
+func maxAbsDiffT(a, b *tensor.Tensor) float64 {
+	d := 0.0
+	for i := range a.Data {
+		if v := math.Abs(a.Data[i] - b.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestConvForwardParityWithNaive(t *testing.T) {
+	for _, sh := range convParityShapes {
+		rng := rand.New(rand.NewSource(int64(sh.inC*100 + sh.k)))
+		l := NewConv2D(rng, "c", sh.inC, sh.outC, sh.k)
+		// Non-zero bias so the bias path is covered too.
+		for i := range l.Bias.W.Data {
+			l.Bias.W.Data[i] = rng.NormFloat64()
+		}
+		x := tensor.Randn(rng, 1, sh.inC, sh.h, sh.w)
+		fast := l.Forward(x, true)
+		naive := l.NaiveForward(x)
+		if fast.Size() != naive.Size() {
+			t.Fatalf("%+v: size %d vs %d", sh, fast.Size(), naive.Size())
+		}
+		if d := maxAbsDiffT(fast, naive); d > 1e-9 {
+			t.Fatalf("%+v: forward diff %g > 1e-9", sh, d)
+		}
+	}
+}
+
+func TestConvBackwardParityWithNaive(t *testing.T) {
+	for _, sh := range convParityShapes {
+		rng := rand.New(rand.NewSource(int64(sh.outC*100 + sh.h)))
+		l := NewConv2D(rng, "c", sh.inC, sh.outC, sh.k)
+		x := tensor.Randn(rng, 1, sh.inC, sh.h, sh.w)
+		grad := tensor.Randn(rng, 1, sh.outC, sh.h, sh.w)
+
+		l.Forward(x, true)
+		for _, p := range l.Params() {
+			p.G.Fill(0)
+		}
+		dxFast := l.Backward(grad).Clone()
+		dwFast := l.Weight.G.Clone()
+		dbFast := l.Bias.G.Clone()
+
+		l.NaiveForward(x)
+		for _, p := range l.Params() {
+			p.G.Fill(0)
+		}
+		dxNaive := l.NaiveBackward(grad)
+
+		if d := maxAbsDiffT(dxFast, dxNaive); d > 1e-9 {
+			t.Fatalf("%+v: dX diff %g > 1e-9", sh, d)
+		}
+		if d := maxAbsDiffT(dwFast, l.Weight.G); d > 1e-9 {
+			t.Fatalf("%+v: dW diff %g > 1e-9", sh, d)
+		}
+		if d := maxAbsDiffT(dbFast, l.Bias.G); d > 1e-9 {
+			t.Fatalf("%+v: dB diff %g > 1e-9", sh, d)
+		}
+	}
+}
+
+// TestConvGradientCheckSmall runs the central-difference check on small
+// conv layers through the GEMM path, including K=1 and a non-square map
+// (TestConv2DGradients in layer_test.go covers the 3×3 case).
+func TestConvGradientCheckSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, sh := range []struct{ inC, outC, k, h, w int }{
+		{1, 2, 1, 3, 4},
+		{2, 3, 3, 4, 5},
+	} {
+		l := NewConv2D(rng, "c", sh.inC, sh.outC, sh.k)
+		x := tensor.Randn(rng, 1, sh.inC, sh.h, sh.w)
+		checkLayerGradients(t, l, x, 1e-4)
+	}
+}
+
+// TestNetworkSteadyStateAllocs asserts the warmed-up hot path allocates
+// nothing: every tensor, im2col matrix, and output slice is arena-owned
+// and reused. The bound is exactly 0 allocations per Forward+Backward
+// cycle; raise it only with a comment justifying each new allocation.
+func TestNetworkSteadyStateAllocs(t *testing.T) {
+	net := NewPolicyValueNet(TestConfig(4), 1)
+	in := randomHopMatrix(rand.New(rand.NewSource(5)), 4)
+	var dl [4][]float64
+	for g := range dl {
+		dl[g] = make([]float64, 4)
+		dl[g][g] = 0.3
+	}
+	// Warm up: size every scratch buffer in the arena.
+	for i := 0; i < 3; i++ {
+		net.Forward(in, true)
+		net.Backward(dl, 0.2, -0.4)
+	}
+	const maxAllocs = 0.0
+	avg := testing.AllocsPerRun(20, func() {
+		net.Forward(in, true)
+		net.Backward(dl, 0.2, -0.4)
+	})
+	if avg > maxAllocs {
+		t.Fatalf("steady-state forward+backward allocates %.1f times per run, want <= %v",
+			avg, maxAllocs)
+	}
+}
+
+// TestWorkerLoopSteadyStateAllocs covers the surrounding training-step
+// machinery the drl workers run per episode: gradient extraction and
+// weight loading must also be allocation-free.
+func TestWorkerLoopSteadyStateAllocs(t *testing.T) {
+	net := NewPolicyValueNet(TestConfig(4), 1)
+	grads := make([]float64, net.NumParams())
+	weights := net.GetWeights()
+	avg := testing.AllocsPerRun(20, func() {
+		net.CopyGradsInto(grads)
+		net.SetWeights(weights)
+		net.ZeroGrads()
+	})
+	if avg > 0 {
+		t.Fatalf("grad/weight sync allocates %.1f times per run, want 0", avg)
+	}
+}
+
+func TestScratchFootprintReported(t *testing.T) {
+	net := NewPolicyValueNet(TestConfig(4), 1)
+	in := randomHopMatrix(rand.New(rand.NewSource(6)), 4)
+	net.Forward(in, true)
+	if net.Scratch().ScratchFloats() == 0 {
+		t.Fatal("arena reports no scratch after a forward pass")
+	}
+	before := net.Scratch().ScratchFloats()
+	net.Forward(in, true)
+	if got := net.Scratch().ScratchFloats(); got != before {
+		t.Fatalf("scratch grew across identical forwards: %d -> %d", before, got)
+	}
+}

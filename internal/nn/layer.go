@@ -4,6 +4,13 @@
 // blocks, softmax/tanh heads, and plain SGD. Feature maps are tensors with
 // shape (channels, height, width); training operates on single examples,
 // matching the paper's per-step actor-critic updates.
+//
+// The compute core is kernelized: convolutions run as im2col + cache-
+// blocked GEMM (tensor.Im2col / tensor.GemmNN and friends) and fully
+// connected layers route through the same GEMM kernels. Every layer draws
+// its outputs, gradients, and im2col scratch from an Arena, so steady-state
+// Forward/Backward cycles allocate nothing; the tensors a layer returns are
+// owned by the layer and valid until its next Forward/Backward call.
 package nn
 
 import (
@@ -27,7 +34,8 @@ func newParam(name string, w *tensor.Tensor) *Param {
 
 // Layer is a differentiable module. Backward consumes dL/d(output),
 // accumulates parameter gradients, and returns dL/d(input). Layers cache
-// their most recent Forward inputs; they are not reentrant.
+// their most recent Forward inputs and reuse their output/gradient buffers
+// across calls; they are not reentrant and not goroutine-safe.
 type Layer interface {
 	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
 	Backward(grad *tensor.Tensor) *tensor.Tensor
@@ -37,13 +45,20 @@ type Layer interface {
 // ---------------------------------------------------------------------------
 // Conv2D
 
-// Conv2D is a 2-D convolution with stride 1 and zero "same" padding.
+// Conv2D is a 2-D convolution with stride 1 and zero "same" padding,
+// computed as im2col + GEMM. NaiveForward/NaiveBackward retain the direct
+// 6-loop formulation as the parity reference.
 type Conv2D struct {
 	InC, OutC, K int
 	Weight       *Param // shape (OutC, InC, K, K)
 	Bias         *Param // shape (OutC)
 
-	x *tensor.Tensor // cached input
+	arena *Arena
+	x     *tensor.Tensor // cached input
+	cols  []float64      // im2col(x), kept for Backward
+	dcols []float64
+	out   *tensor.Tensor
+	dx    *tensor.Tensor
 }
 
 // NewConv2D builds a conv layer with He-initialized weights.
@@ -59,78 +74,54 @@ func NewConv2D(rng *rand.Rand, name string, inC, outC, k int) *Conv2D {
 // Params implements Layer.
 func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
 
-// Forward implements Layer.
+// Forward implements Layer: out = W·im2col(x) + b, one GEMM of the
+// (OutC, InC·K·K) weight matrix against the (InC·K·K, H·W) column matrix.
 func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if len(x.Shape) != 3 || x.Shape[0] != c.InC {
 		panic(fmt.Sprintf("nn: Conv2D input shape %v, want (%d,H,W)", x.Shape, c.InC))
 	}
 	c.x = x
 	h, w := x.Shape[1], x.Shape[2]
-	pad := (c.K - 1) / 2
-	out := tensor.New(c.OutC, h, w)
+	hw := h * w
+	ickk := c.InC * c.K * c.K
+	a := ensureArena(&c.arena)
+	cols := a.slice(&c.cols, ickk*hw)
+	tensor.Im2col(x.Data, c.InC, h, w, c.K, (c.K-1)/2, cols)
+	out := a.tensorFor(&c.out, c.OutC, h, w)
+	tensor.GemmNN(c.OutC, hw, ickk, c.Weight.W.Data, cols, out.Data, false)
 	for oc := 0; oc < c.OutC; oc++ {
 		b := c.Bias.W.Data[oc]
-		for oy := 0; oy < h; oy++ {
-			for ox := 0; ox < w; ox++ {
-				s := b
-				for ic := 0; ic < c.InC; ic++ {
-					for ky := 0; ky < c.K; ky++ {
-						iy := oy + ky - pad
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < c.K; kx++ {
-							ix := ox + kx - pad
-							if ix < 0 || ix >= w {
-								continue
-							}
-							s += c.Weight.W.Data[((oc*c.InC+ic)*c.K+ky)*c.K+kx] *
-								x.Data[(ic*h+iy)*w+ix]
-						}
-					}
-				}
-				out.Data[(oc*h+oy)*w+ox] = s
-			}
+		if b == 0 {
+			continue
+		}
+		row := out.Data[oc*hw : (oc+1)*hw]
+		for i := range row {
+			row[i] += b
 		}
 	}
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer: dW += dY·im2col(x)ᵀ, db += row-sums of dY,
+// and dX = col2im(Wᵀ·dY), reusing the column matrix cached by Forward.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	x := c.x
 	h, w := x.Shape[1], x.Shape[2]
-	pad := (c.K - 1) / 2
-	dx := x.ZerosLike()
+	hw := h * w
+	ickk := c.InC * c.K * c.K
 	for oc := 0; oc < c.OutC; oc++ {
-		for oy := 0; oy < h; oy++ {
-			for ox := 0; ox < w; ox++ {
-				g := grad.Data[(oc*h+oy)*w+ox]
-				if g == 0 {
-					continue
-				}
-				c.Bias.G.Data[oc] += g
-				for ic := 0; ic < c.InC; ic++ {
-					for ky := 0; ky < c.K; ky++ {
-						iy := oy + ky - pad
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < c.K; kx++ {
-							ix := ox + kx - pad
-							if ix < 0 || ix >= w {
-								continue
-							}
-							wi := ((oc*c.InC+ic)*c.K+ky)*c.K + kx
-							xi := (ic*h+iy)*w + ix
-							c.Weight.G.Data[wi] += g * x.Data[xi]
-							dx.Data[xi] += g * c.Weight.W.Data[wi]
-						}
-					}
-				}
-			}
+		s := 0.0
+		for _, g := range grad.Data[oc*hw : (oc+1)*hw] {
+			s += g
 		}
+		c.Bias.G.Data[oc] += s
 	}
+	tensor.GemmNT(c.OutC, ickk, hw, grad.Data, c.cols, c.Weight.G.Data, true)
+	a := ensureArena(&c.arena)
+	dcols := a.slice(&c.dcols, ickk*hw)
+	tensor.GemmTN(ickk, hw, c.OutC, c.Weight.W.Data, grad.Data, dcols, false)
+	dx := a.tensorFor(&c.dx, x.Shape...)
+	tensor.Col2im(dcols, c.InC, h, w, c.K, (c.K-1)/2, dx.Data)
 	return dx
 }
 
@@ -149,10 +140,13 @@ type BatchNorm struct {
 	RunVar   []float64
 	Eps      float64
 
+	arena *Arena
 	x     *tensor.Tensor
 	xhat  []float64
 	mean  []float64
 	invSD []float64
+	out   *tensor.Tensor
+	dx    *tensor.Tensor
 }
 
 // NewBatchNorm builds a batch-norm layer for c channels.
@@ -184,11 +178,12 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	h, w := x.Shape[1], x.Shape[2]
 	n := h * w
-	out := x.ZerosLike()
+	a := ensureArena(&b.arena)
+	out := a.tensorFor(&b.out, x.Shape...)
 	b.x = x
-	b.xhat = make([]float64, x.Size())
-	b.mean = make([]float64, b.C)
-	b.invSD = make([]float64, b.C)
+	xhat := a.slice(&b.xhat, x.Size())
+	a.slice(&b.mean, b.C)
+	a.slice(&b.invSD, b.C)
 	for c := 0; c < b.C; c++ {
 		ch := x.Data[c*n : (c+1)*n]
 		var mean, varc float64
@@ -212,7 +207,7 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		g, beta := b.Gamma.W.Data[c], b.Beta.W.Data[c]
 		for i, v := range ch {
 			xh := (v - mean) * inv
-			b.xhat[c*n+i] = xh
+			xhat[c*n+i] = xh
 			out.Data[c*n+i] = g*xh + beta
 		}
 	}
@@ -223,7 +218,7 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	h, w := b.x.Shape[1], b.x.Shape[2]
 	n := h * w
-	dx := b.x.ZerosLike()
+	dx := ensureArena(&b.arena).tensorFor(&b.dx, b.x.Shape...)
 	for c := 0; c < b.C; c++ {
 		g := b.Gamma.W.Data[c]
 		var sumDy, sumDyXhat float64
@@ -250,7 +245,10 @@ func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 // ReLU is the rectified linear activation.
 type ReLU struct {
-	mask []bool
+	arena *Arena
+	mask  []bool
+	out   *tensor.Tensor
+	dx    *tensor.Tensor
 }
 
 // NewReLU builds a ReLU layer.
@@ -261,13 +259,16 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	out := x.Clone()
-	r.mask = make([]bool, len(out.Data))
-	for i, v := range out.Data {
+	a := ensureArena(&r.arena)
+	out := a.tensorFor(&r.out, x.Shape...)
+	mask := a.bools(&r.mask, x.Size())
+	for i, v := range x.Data {
 		if v <= 0 {
 			out.Data[i] = 0
+			mask[i] = false
 		} else {
-			r.mask[i] = true
+			out.Data[i] = v
+			mask[i] = true
 		}
 	}
 	return out
@@ -275,9 +276,11 @@ func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := grad.Clone()
-	for i := range dx.Data {
-		if !r.mask[i] {
+	dx := ensureArena(&r.arena).tensorFor(&r.dx, grad.Shape...)
+	for i, v := range grad.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		} else {
 			dx.Data[i] = 0
 		}
 	}
@@ -290,8 +293,11 @@ func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // MaxPool halves spatial dimensions with 2×2 windows (odd trailing
 // rows/columns are dropped, as in the paper's "pool, /2" stages).
 type MaxPool struct {
+	arena  *Arena
 	argmax []int
 	inSh   []int
+	out    *tensor.Tensor
+	dx     *tensor.Tensor
 }
 
 // NewMaxPool builds the pooling layer.
@@ -307,9 +313,11 @@ func (p *MaxPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if oh < 1 || ow < 1 {
 		panic(fmt.Sprintf("nn: MaxPool input %v too small", x.Shape))
 	}
-	out := tensor.New(c, oh, ow)
-	p.argmax = make([]int, out.Size())
-	p.inSh = x.Shape
+	a := ensureArena(&p.arena)
+	out := a.tensorFor(&p.out, c, oh, ow)
+	argmax := a.ints(&p.argmax, out.Size())
+	inSh := a.ints(&p.inSh, 3)
+	copy(inSh, x.Shape)
 	for ci := 0; ci < c; ci++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -329,7 +337,7 @@ func (p *MaxPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 				}
 				oi := (ci*oh+oy)*ow + ox
 				out.Data[oi] = best
-				p.argmax[oi] = bestIdx
+				argmax[oi] = bestIdx
 			}
 		}
 	}
@@ -338,7 +346,8 @@ func (p *MaxPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (p *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(p.inSh...)
+	dx := ensureArena(&p.arena).tensorFor(&p.dx, p.inSh...)
+	dx.Fill(0)
 	for oi, idx := range p.argmax {
 		dx.Data[idx] += grad.Data[oi]
 	}
@@ -348,13 +357,17 @@ func (p *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // ---------------------------------------------------------------------------
 // Dense (fully connected)
 
-// Dense is a fully connected layer on flattened inputs.
+// Dense is a fully connected layer on flattened inputs, routed through the
+// same GEMM kernels as the convolutions (n=1 column).
 type Dense struct {
 	In, Out int
 	Weight  *Param // (Out, In)
 	Bias    *Param // (Out)
 
-	x *tensor.Tensor
+	arena *Arena
+	x     *tensor.Tensor
+	out   *tensor.Tensor
+	dx    *tensor.Tensor
 }
 
 // NewDense builds an FC layer with Xavier-initialized weights.
@@ -376,28 +389,24 @@ func (d *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Dense input size %d, want %d", x.Size(), d.In))
 	}
 	d.x = x
-	y := tensor.MatVec(d.Weight.W, x.Data)
-	for i := range y {
-		y[i] += d.Bias.W.Data[i]
+	y := ensureArena(&d.arena).tensorFor(&d.out, d.Out)
+	tensor.GemmNN(d.Out, 1, d.In, d.Weight.W.Data, x.Data, y.Data, false)
+	for i := range y.Data {
+		y.Data[i] += d.Bias.W.Data[i]
 	}
-	return tensor.FromSlice(y, d.Out)
+	return y
 }
 
-// Backward implements Layer.
+// Backward implements Layer: dW += dY·xᵀ (outer product), db += dY,
+// dX = Wᵀ·dY, shaped like the cached input.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	tensor.GemmNT(d.Out, d.In, 1, grad.Data, d.x.Data, d.Weight.G.Data, true)
 	for o := 0; o < d.Out; o++ {
-		g := grad.Data[o]
-		d.Bias.G.Data[o] += g
-		if g == 0 {
-			continue
-		}
-		row := d.Weight.G.Data[o*d.In : (o+1)*d.In]
-		for i, xv := range d.x.Data {
-			row[i] += g * xv
-		}
+		d.Bias.G.Data[o] += grad.Data[o]
 	}
-	dx := tensor.MatVecT(d.Weight.W, grad.Data)
-	return tensor.FromSlice(dx, d.x.Shape...)
+	dx := ensureArena(&d.arena).tensorFor(&d.dx, d.x.Shape...)
+	tensor.GemmTN(d.In, 1, d.Out, d.Weight.W.Data, grad.Data, dx.Data, false)
+	return dx
 }
 
 // ---------------------------------------------------------------------------
@@ -440,9 +449,12 @@ func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // out = ReLU(F(x) + x) where F is conv-BN-ReLU-conv-BN with matching
 // channel counts.
 type Residual struct {
-	Body *Sequential
-	relu *ReLU
-	x    *tensor.Tensor
+	Body  *Sequential
+	relu  *ReLU
+	arena *Arena
+	x     *tensor.Tensor
+	sum   *tensor.Tensor
+	dx    *tensor.Tensor
 }
 
 // NewResidual builds a residual block of two 3×3 convolutions on c
@@ -467,16 +479,20 @@ func (r *Residual) Params() []*Param { return r.Body.Params() }
 func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	r.x = x
 	f := r.Body.Forward(x, train)
-	sum := f.Clone()
+	sum := ensureArena(&r.arena).tensorFor(&r.sum, x.Shape...)
+	copy(sum.Data, f.Data)
 	sum.AddInPlace(x)
 	return r.relu.Forward(sum, train)
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The post-sum ReLU gradient g feeds both the
+// body and the shortcut; g lives in r.relu's buffer, which no body layer
+// writes, so it can be passed through and reread without copying.
 func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	g := r.relu.Backward(grad)
-	dxBody := r.Body.Backward(g.Clone())
-	dx := dxBody.Clone()
+	dxBody := r.Body.Backward(g)
+	dx := ensureArena(&r.arena).tensorFor(&r.dx, r.x.Shape...)
+	copy(dx.Data, dxBody.Data)
 	dx.AddInPlace(g) // shortcut path
 	return dx
 }

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"fmt"
+
+	"routerless/internal/tensor"
+)
+
+// The direct 6-loop convolution the package originally shipped, retained
+// as the exported reference implementation: parity tests pin the im2col +
+// GEMM fast path against it to 1e-9, and BenchmarkIm2colConv measures the
+// speedup over it.
+
+// NaiveForward computes the convolution by direct summation, allocating a
+// fresh output tensor. It caches x, so NaiveBackward (or Backward) may
+// follow it.
+func (c *Conv2D) NaiveForward(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 3 || x.Shape[0] != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D input shape %v, want (%d,H,W)", x.Shape, c.InC))
+	}
+	c.x = x
+	h, w := x.Shape[1], x.Shape[2]
+	pad := (c.K - 1) / 2
+	out := tensor.New(c.OutC, h, w)
+	for oc := 0; oc < c.OutC; oc++ {
+		b := c.Bias.W.Data[oc]
+		for oy := 0; oy < h; oy++ {
+			for ox := 0; ox < w; ox++ {
+				s := b
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy + ky - pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox + kx - pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							s += c.Weight.W.Data[((oc*c.InC+ic)*c.K+ky)*c.K+kx] *
+								x.Data[(ic*h+iy)*w+ix]
+						}
+					}
+				}
+				out.Data[(oc*h+oy)*w+ox] = s
+			}
+		}
+	}
+	return out
+}
+
+// NaiveBackward back-propagates by direct summation from the most recent
+// (Naive)Forward, accumulating into Weight.G/Bias.G and returning a fresh
+// dX tensor.
+func (c *Conv2D) NaiveBackward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.x
+	h, w := x.Shape[1], x.Shape[2]
+	pad := (c.K - 1) / 2
+	dx := x.ZerosLike()
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < h; oy++ {
+			for ox := 0; ox < w; ox++ {
+				g := grad.Data[(oc*h+oy)*w+ox]
+				if g == 0 {
+					continue
+				}
+				c.Bias.G.Data[oc] += g
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy + ky - pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox + kx - pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							wi := ((oc*c.InC+ic)*c.K+ky)*c.K + kx
+							xi := (ic*h+iy)*w + ix
+							c.Weight.G.Data[wi] += g * x.Data[xi]
+							dx.Data[xi] += g * c.Weight.W.Data[wi]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

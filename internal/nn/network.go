@@ -64,6 +64,17 @@ type PolicyValueNet struct {
 	vConvOut *tensor.Tensor
 
 	params []*Param
+
+	// Scratch owned by this network instance (one arena per network; one
+	// network per learner goroutine — see Arena). in and out are the
+	// reusable input tensor and output struct, flat/dDirT/dValT back the
+	// head-gradient tensors fed into Backward.
+	arena *Arena
+	in    *tensor.Tensor
+	out   Output
+	flat  *tensor.Tensor
+	dDirT *tensor.Tensor
+	dValT *tensor.Tensor
 }
 
 // NewPolicyValueNet constructs the network with the given seed.
@@ -146,8 +157,29 @@ func NewPolicyValueNet(cfg Config, seed int64) *PolicyValueNet {
 	net.params = append(net.params, net.dFC.Params()...)
 	net.params = append(net.params, net.vConv.Params()...)
 	net.params = append(net.params, net.vFC.Params()...)
+
+	// Thread one scratch arena through every layer and pre-size the
+	// persistent input/output/head-gradient buffers, so steady-state
+	// Forward/Backward cycles allocate nothing.
+	net.arena = NewArena()
+	for _, l := range []Layer{net.trunk, net.pConv, net.pFC1, net.pReLU,
+		net.pFC2, net.dConv, net.dFC, net.vConv, net.vFC} {
+		attachArena(net.arena, l)
+	}
+	net.in = tensor.New(1, side, side)
+	for g := 0; g < 4; g++ {
+		net.out.CoordLogits[g] = make([]float64, cfg.N)
+		net.out.CoordProbs[g] = make([]float64, cfg.N)
+	}
+	net.flat = tensor.New(4 * cfg.N)
+	net.dDirT = tensor.New(1)
+	net.dValT = tensor.New(1)
 	return net
 }
+
+// Scratch returns the network's arena, an observability handle for the
+// steady-state scratch footprint.
+func (n *PolicyValueNet) Scratch() *Arena { return n.arena }
 
 // Params returns every learnable parameter.
 func (n *PolicyValueNet) Params() []*Param { return n.params }
@@ -164,27 +196,30 @@ func (n *PolicyValueNet) NumParams() int {
 // Forward evaluates the network on a hop-count matrix (flattened N²×N²,
 // as produced by topo.HopMatrix). Inputs are normalized by 5N so values
 // lie in [0, 1].
+//
+// The returned Output (and its logit/probability slices) is owned by the
+// network and overwritten by the next Forward call; callers that retain it
+// across evaluations must copy what they need.
 func (n *PolicyValueNet) Forward(hopMatrix []float64, train bool) *Output {
 	side := n.Cfg.N * n.Cfg.N
 	if len(hopMatrix) != side*side {
 		panic(fmt.Sprintf("nn: input length %d, want %d", len(hopMatrix), side*side))
 	}
-	x := tensor.New(1, side, side)
+	x := n.in
 	norm := 5 * float64(n.Cfg.N)
 	for i, v := range hopMatrix {
 		x.Data[i] = v / norm
 	}
 	n.trunkOut = n.trunk.Forward(x, train)
 
-	out := &Output{}
+	out := &n.out
 	// Policy coordinates.
 	n.pConvOut = n.pConv.Forward(n.trunkOut, train)
 	h1 := n.pReLU.Forward(n.pFC1.Forward(n.pConvOut, train), train)
 	logits := n.pFC2.Forward(h1, train)
 	for g := 0; g < 4; g++ {
-		ls := append([]float64(nil), logits.Data[g*n.Cfg.N:(g+1)*n.Cfg.N]...)
-		out.CoordLogits[g] = ls
-		out.CoordProbs[g] = tensor.Softmax(ls)
+		copy(out.CoordLogits[g], logits.Data[g*n.Cfg.N:(g+1)*n.Cfg.N])
+		tensor.SoftmaxInto(out.CoordProbs[g], out.CoordLogits[g])
 	}
 	// Direction.
 	n.dConvOut = n.dConv.Forward(n.trunkOut, train)
@@ -201,20 +236,23 @@ func (n *PolicyValueNet) Forward(hopMatrix []float64, train bool) *Output {
 // dLogits are dL/d(coordinate logits) (4 groups of N), dDirPre is
 // dL/d(pre-tanh direction), dValue is dL/d(value).
 func (n *PolicyValueNet) Backward(dLogits [4][]float64, dDirPre, dValue float64) {
-	flat := make([]float64, 4*n.Cfg.N)
 	for g := 0; g < 4; g++ {
-		copy(flat[g*n.Cfg.N:], dLogits[g])
+		copy(n.flat.Data[g*n.Cfg.N:], dLogits[g])
 	}
-	gp := n.pFC2.Backward(tensor.FromSlice(flat, 4*n.Cfg.N))
+	// Dense.Backward returns gradients already shaped like the cached
+	// input (the conv-head output), so no reshaping is needed. gTrunk is
+	// the p-head conv's dx buffer; the d/v head backward passes write
+	// their own buffers, so accumulating into it is alias-free.
+	gp := n.pFC2.Backward(n.flat)
 	gp = n.pReLU.Backward(gp)
 	gp = n.pFC1.Backward(gp)
-	gTrunk := n.pConv.Backward(gp.Reshape(n.pConvOut.Shape...))
+	gTrunk := n.pConv.Backward(gp)
 
-	gd := n.dFC.Backward(tensor.FromSlice([]float64{dDirPre}, 1))
-	gTrunk.AddInPlace(n.dConv.Backward(gd.Reshape(n.dConvOut.Shape...)))
+	n.dDirT.Data[0] = dDirPre
+	gTrunk.AddInPlace(n.dConv.Backward(n.dFC.Backward(n.dDirT)))
 
-	gv := n.vFC.Backward(tensor.FromSlice([]float64{dValue}, 1))
-	gTrunk.AddInPlace(n.vConv.Backward(gv.Reshape(n.vConvOut.Shape...)))
+	n.dValT.Data[0] = dValue
+	gTrunk.AddInPlace(n.vConv.Backward(n.vFC.Backward(n.dValT)))
 
 	n.trunk.Backward(gTrunk)
 }
@@ -250,11 +288,22 @@ func (n *PolicyValueNet) SetWeights(w []float64) {
 
 // GetGrads flattens all gradients.
 func (n *PolicyValueNet) GetGrads() []float64 {
-	var out []float64
-	for _, p := range n.params {
-		out = append(out, p.G.Data...)
-	}
+	out := make([]float64, n.NumParams())
+	n.CopyGradsInto(out)
 	return out
+}
+
+// CopyGradsInto writes the flattened gradients into dst, which must have
+// length NumParams. It is the allocation-free variant of GetGrads for the
+// per-worker training loop.
+func (n *PolicyValueNet) CopyGradsInto(dst []float64) {
+	off := 0
+	for _, p := range n.params {
+		off += copy(dst[off:], p.G.Data)
+	}
+	if off != len(dst) {
+		panic(fmt.Sprintf("nn: CopyGradsInto length %d, want %d", len(dst), off))
+	}
 }
 
 // ApplyGrads performs an SGD step with the given flat gradient and
@@ -262,18 +311,18 @@ func (n *PolicyValueNet) GetGrads() []float64 {
 func (n *PolicyValueNet) ApplyGrads(grads []float64, lr, clip float64) {
 	off := 0
 	for _, p := range n.params {
-		for i := 0; i < p.W.Size(); i++ {
-			g := grads[off+i]
-			if clip > 0 {
-				if g > clip {
-					g = clip
-				} else if g < -clip {
-					g = -clip
-				}
+		w := p.W.Data
+		g := grads[off : off+len(w)]
+		if clip > 0 {
+			for i, gv := range g {
+				w[i] -= lr * min(max(gv, -clip), clip)
 			}
-			p.W.Data[i] -= lr * g
+		} else {
+			for i, gv := range g {
+				w[i] -= lr * gv
+			}
 		}
-		off += p.W.Size()
+		off += len(w)
 	}
 }
 
@@ -286,18 +335,21 @@ type SGD struct {
 // Step applies accumulated gradients to the network's own parameters and
 // clears them.
 func (s SGD) Step(n *PolicyValueNet) {
+	lr, clip := s.LR, s.Clip
 	for _, p := range n.params {
-		for i := range p.W.Data {
-			g := p.G.Data[i]
-			if s.Clip > 0 {
-				if g > s.Clip {
-					g = s.Clip
-				} else if g < -s.Clip {
-					g = -s.Clip
-				}
+		w := p.W.Data
+		g := p.G.Data[:len(w)]
+		// The clip test is hoisted out of the per-element loop; min/max
+		// compile to MINSD/MAXSD, keeping the update branch-free.
+		if clip > 0 {
+			for i, gv := range g {
+				w[i] -= lr * min(max(gv, -clip), clip)
 			}
-			p.W.Data[i] -= s.LR * g
+		} else {
+			for i, gv := range g {
+				w[i] -= lr * gv
+			}
 		}
+		clear(p.G.Data)
 	}
-	n.ZeroGrads()
 }

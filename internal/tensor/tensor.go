@@ -122,6 +122,10 @@ func (t *Tensor) AxpyInPlace(a float64, o *Tensor) {
 
 // Fill sets every element to v.
 func (t *Tensor) Fill(v float64) {
+	if v == 0 {
+		clear(t.Data) // compiles to memclr; Fill(0) is the ZeroGrads hot path
+		return
+	}
 	for i := range t.Data {
 		t.Data[i] = v
 	}
@@ -187,21 +191,30 @@ func MatVecT(a *Tensor, x []float64) []float64 {
 
 // Softmax returns the softmax of xs (numerically stable).
 func Softmax(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	SoftmaxInto(out, xs)
+	return out
+}
+
+// SoftmaxInto writes the softmax of xs into dst (len(dst) == len(xs)),
+// allocation-free for hot paths that reuse dst.
+func SoftmaxInto(dst, xs []float64) {
+	if len(dst) != len(xs) {
+		panic(fmt.Sprintf("tensor: SoftmaxInto dst length %d, want %d", len(dst), len(xs)))
+	}
 	max := xs[0]
 	for _, v := range xs[1:] {
 		if v > max {
 			max = v
 		}
 	}
-	out := make([]float64, len(xs))
 	sum := 0.0
 	for i, v := range xs {
 		e := math.Exp(v - max)
-		out[i] = e
+		dst[i] = e
 		sum += e
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
 }
