@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-nn
+.PHONY: ci vet build test race bench bench-nn bench-sim
 
 ci: vet build test race
 
@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/drl/... ./internal/sim/... ./internal/obs/... ./internal/mcts/...
+	$(GO) test -race ./internal/drl/... ./internal/sim/... ./internal/obs/... ./internal/mcts/... ./internal/exp/...
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' .
@@ -28,3 +28,11 @@ bench:
 # counts. Before/after numbers for PR 2 live in BENCH_PR2.json.
 bench-nn:
 	$(GO) test -bench 'BenchmarkDNN|BenchmarkGemm|BenchmarkIm2col' -benchmem -run '^$$' .
+
+# Quick iteration loop for the simulator hot path (zero-alloc Step/Run:
+# flit pools, head-index queues, routing caches). Allocation counts are
+# the regression signal — internal/sim's AllocsPerRun tests pin them at
+# zero per steady-state cycle. Before/after numbers for PR 3 live in
+# BENCH_PR3.json.
+bench-sim:
+	$(GO) test -bench 'BenchmarkRingStep|BenchmarkMeshStep|BenchmarkSimRun' -benchmem -run '^$$' .

@@ -168,12 +168,13 @@ func BenchmarkBroadChiplet(b *testing.B) {
 
 // --- Micro-benchmarks of the core components -------------------------------
 
-func BenchmarkRingSimStep(b *testing.B) {
+func BenchmarkRingStep(b *testing.B) {
 	for _, n := range []int{4, 8, 10} {
 		b.Run(strconv.Itoa(n)+"x"+strconv.Itoa(n), func(b *testing.B) {
 			t := rec.MustGenerate(n)
 			net := sim.NewRing(t, sim.DefaultRingConfig())
 			src := traffic.NewInjector(n, n, traffic.UniformRandom, 0.1, 128, 1)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, r := range src.Tick() {
@@ -185,9 +186,10 @@ func BenchmarkRingSimStep(b *testing.B) {
 	}
 }
 
-func BenchmarkMeshSimStep(b *testing.B) {
+func BenchmarkMeshStep(b *testing.B) {
 	net := sim.NewMesh(8, 8, sim.MeshN(2))
 	src := traffic.NewInjector(8, 8, traffic.UniformRandom, 0.1, 256, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, r := range src.Tick() {
@@ -195,6 +197,37 @@ func BenchmarkMeshSimStep(b *testing.B) {
 		}
 		net.Step()
 	}
+}
+
+// BenchmarkSimRun measures one full measurement point (warmup + measure +
+// drain) — the unit of work every figure sweep repeats hundreds of times.
+func BenchmarkSimRun(b *testing.B) {
+	cfg := sim.RunConfig{WarmupCycles: 500, MeasureCycles: 2000, DrainCycles: 4000}
+	b.Run("ring8x8", func(b *testing.B) {
+		t := rec.MustGenerate(8)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net := sim.NewRing(t, sim.DefaultRingConfig())
+			src := traffic.NewInjector(8, 8, traffic.UniformRandom, 0.1, 128, 1)
+			res := sim.Run(net, src, cfg)
+			if res.PacketsDone == 0 {
+				b.Fatal("no packets delivered")
+			}
+		}
+	})
+	b.Run("mesh8x8", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net := sim.NewMesh(8, 8, sim.MeshN(2))
+			src := traffic.NewInjector(8, 8, traffic.UniformRandom, 0.1, 256, 1)
+			res := sim.Run(net, src, cfg)
+			if res.PacketsDone == 0 {
+				b.Fatal("no packets delivered")
+			}
+		}
+	})
 }
 
 func BenchmarkDNNForward(b *testing.B) {

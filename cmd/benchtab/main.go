@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"routerless/internal/exp"
 	"routerless/internal/obs"
@@ -27,6 +28,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a metrics snapshot as JSON to this path at exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address while running")
 	eventsPath := flag.String("events", "", "write structured JSONL run events to this path")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "simulation points run in parallel per experiment (1 = sequential; reports are identical either way)")
 	flag.Parse()
 
 	if *list {
@@ -91,7 +93,7 @@ func main() {
 		fmt.Printf("metrics written to %s\n", *metricsPath)
 	}
 
-	o := exp.Options{Quick: !*full, Seed: *seed, Metrics: reg, Events: events}
+	o := exp.Options{Quick: !*full, Seed: *seed, Workers: *jobs, Metrics: reg, Events: events}
 	if *id == "all" {
 		for _, r := range exp.All(o) {
 			fmt.Println(r)

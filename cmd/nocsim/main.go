@@ -15,9 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
+	"routerless/internal/exp"
 	"routerless/internal/obs"
 	"routerless/internal/sim"
 	"routerless/internal/stats"
@@ -41,6 +43,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address while running")
 	eventsPath := flag.String("events", "", "write structured JSONL run events to this path")
 	progress := flag.Int("progress", 0, "print a progress line to stderr every N simulated cycles (0 = off)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "sweep points simulated in parallel (1 = sequential; output is identical either way)")
 	flag.Parse()
 
 	var reg *obs.Registry
@@ -93,13 +96,19 @@ func main() {
 		WarmupCycles: *warmup, MeasureCycles: *measure, DrainCycles: 2 * *measure,
 		Metrics: reg, Events: events,
 	}
-	label := ""
+	// progressFn builds a per-run progress callback; each parallel sweep
+	// point gets its own (the prefix identifies whose line it is).
+	progressFn := func(prefix string) func(sim.IntervalStats) {
+		if *progress <= 0 {
+			return nil
+		}
+		return func(s sim.IntervalStats) {
+			fmt.Fprintf(os.Stderr, "nocsim: %s%s cycle=%d inflight=%d thr=%.4f buf=%d\n",
+				prefix, s.Phase, s.Cycle, s.InFlight, s.Throughput, s.BufferOccupancy)
+		}
+	}
 	if *progress > 0 {
 		cfg.ProbeEvery = *progress
-		cfg.OnInterval = func(s sim.IntervalStats) {
-			fmt.Fprintf(os.Stderr, "nocsim: %s%s cycle=%d inflight=%d thr=%.4f buf=%d\n",
-				label, s.Phase, s.Cycle, s.InFlight, s.Throughput, s.BufferOccupancy)
-		}
 	}
 
 	writeMetrics := func() {
@@ -123,6 +132,7 @@ func main() {
 			fatal(err)
 		}
 		src := traffic.NewAppInjector(profile, rows, cols, linkBits, *seed)
+		cfg.OnInterval = progressFn("")
 		res := sim.Run(mk(), src, cfg)
 		fmt.Printf("app=%s %v\n", profile.Name, res)
 		writeMetrics()
@@ -133,16 +143,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var points []sim.SweepPoint
-	fmt.Printf("%-10s %-10s %-12s %-10s %s\n", "rate", "latency", "throughput", "hops", "flags")
+	var rateList []float64
 	for _, rs := range strings.Split(*rates, ",") {
 		r, err := strconv.ParseFloat(strings.TrimSpace(rs), 64)
 		if err != nil {
 			fatal(err)
 		}
-		label = fmt.Sprintf("rate=%.4f ", r)
+		rateList = append(rateList, r)
+	}
+	// The sweep points are independent (each builds its own network and
+	// injector with the same seed), so fan them across -j workers; results
+	// land by rate index and are printed/logged in order afterwards, so
+	// stdout and the events JSONL are identical at any -j.
+	results := exp.RunParallel(len(rateList), *jobs, reg, func(i int) sim.Result {
+		r := rateList[i]
+		c := cfg
+		c.OnInterval = progressFn(fmt.Sprintf("rate=%.4f ", r))
 		src := traffic.NewInjector(rows, cols, p, r, linkBits, *seed)
-		res := sim.Run(mk(), src, cfg)
+		return sim.Run(mk(), src, c)
+	})
+	var points []sim.SweepPoint
+	fmt.Printf("%-10s %-10s %-12s %-10s %s\n", "rate", "latency", "throughput", "hops", "flags")
+	for i, res := range results {
+		r := rateList[i]
 		points = append(points, sim.SweepPoint{Rate: r, Result: res})
 		events.Info(obs.EventSweepPoint, map[string]any{
 			"rate":        r,

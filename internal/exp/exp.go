@@ -29,6 +29,11 @@ type Options struct {
 	Quick bool
 	// Seed drives every stochastic component.
 	Seed int64
+	// Workers is the worker-pool width for the parallel experiment paths
+	// (RunParallel/ParallelSweep): 0 selects GOMAXPROCS, 1 forces the
+	// sequential path. Parallel and sequential runs of the same seed
+	// produce identical reports.
+	Workers int
 	// Metrics/Events, when non-nil, are threaded into the DRL searches the
 	// experiments run, so benchtab's -metrics/-events/-debug-addr flags
 	// observe the long-running search phases.
@@ -220,16 +225,18 @@ func MeshRun(n, delay int, p traffic.Pattern, rate float64, o Options) sim.Resul
 
 // Sweep runs increasing injection rates until saturation (latency beyond
 // 3× zero-load or undelivered packets), returning the load-latency curve.
+// The zero-load baseline is taken from the first point that delivered any
+// packets — a first point with zero completions (possible at very light
+// load under short Quick windows) must not freeze the baseline at 0 and
+// end the sweep on its successor. A saturated first point still stops the
+// sweep immediately. ParallelSweep applies the same conditions.
 func Sweep(run func(rate float64) sim.Result, rates []float64) []sim.SweepPoint {
 	var pts []sim.SweepPoint
-	zeroLoad := 0.0
+	var st sweepState
 	for _, r := range rates {
 		res := run(r)
 		pts = append(pts, sim.SweepPoint{Rate: r, Result: res})
-		if zeroLoad == 0 {
-			zeroLoad = res.AvgLatency
-		}
-		if res.Saturated || res.AvgLatency > 3*zeroLoad {
+		if st.stop(res) {
 			break
 		}
 	}

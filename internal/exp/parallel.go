@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"routerless/internal/obs"
+	"routerless/internal/sim"
+)
+
+// This file is the parallel experiment harness. Experiment points —
+// (topology, pattern, rate, seed) tuples — are independent: each one
+// builds its own network and injector, so they fan out across worker
+// goroutines with no shared mutable state (the freelist ownership rule:
+// one packet pool per run, one network per worker — see DESIGN.md).
+// Results are always placed by input index, so parallel output is
+// byte-identical to sequential output for a fixed seed.
+
+// jobs resolves the worker-pool width for these options: Workers when
+// set, else GOMAXPROCS.
+func (o Options) jobs() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunParallel evaluates fn(0..n-1) across up to j worker goroutines and
+// returns the results in input order. fn must be safe for concurrent
+// calls and deterministic per index (every experiment helper in this
+// package is: each call constructs its own network and seeded injector).
+// Each worker counts completed points into the registry's
+// "exp.worker.<w>.points" counter; reg may be nil.
+func RunParallel[T any](n, j int, reg *obs.Registry, fn func(i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	if j > n {
+		j = n
+	}
+	if j <= 1 {
+		c := reg.Counter("exp.worker.0.points")
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+			c.Inc()
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < j; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter(fmt.Sprintf("exp.worker.%d.points", w))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+				c.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// runAll evaluates independent simulation jobs across the options'
+// worker pool, preserving input order. The figure/table generators use
+// it to fan their cells out while keeping row order deterministic.
+func runAll(o Options, jobs []func() sim.Result) []sim.Result {
+	return RunParallel(len(jobs), o.jobs(), o.Metrics, func(i int) sim.Result { return jobs[i]() })
+}
+
+// sweepState carries Sweep's stop conditions so the sequential and
+// speculative sweeps share them exactly: the zero-load baseline is the
+// first point that actually delivered packets, and the sweep stops on
+// saturation or once latency exceeds 3x that baseline.
+type sweepState struct{ zeroLoad float64 }
+
+// stop folds one in-order result into the state and reports whether the
+// sweep ends after this point.
+func (s *sweepState) stop(res sim.Result) bool {
+	if s.zeroLoad == 0 && res.PacketsDone > 0 {
+		s.zeroLoad = res.AvgLatency
+	}
+	return res.Saturated || (s.zeroLoad > 0 && res.AvgLatency > 3*s.zeroLoad)
+}
+
+// ParallelSweep is Sweep with speculative parallelism: rates are run in
+// batches of j across the worker pool, then scanned in order under the
+// same stop conditions as Sweep. Points past a stop are discarded, so
+// for a deterministic run function the result is identical to
+// Sweep(run, rates) — the speculation only trades (at most one batch of)
+// wasted simulation for wall-clock time. j <= 1 falls back to Sweep.
+func ParallelSweep(run func(rate float64) sim.Result, rates []float64, j int) []sim.SweepPoint {
+	if j <= 1 || len(rates) <= 1 {
+		return Sweep(run, rates)
+	}
+	pts := make([]sim.SweepPoint, 0, len(rates))
+	var st sweepState
+	for start := 0; start < len(rates); start += j {
+		end := start + j
+		if end > len(rates) {
+			end = len(rates)
+		}
+		batch := rates[start:end]
+		results := RunParallel(len(batch), j, nil, func(i int) sim.Result { return run(batch[i]) })
+		for i, res := range results {
+			pts = append(pts, sim.SweepPoint{Rate: batch[i], Result: res})
+			if st.stop(res) {
+				return pts
+			}
+		}
+	}
+	return pts
+}

@@ -5,6 +5,7 @@ import (
 
 	"routerless/internal/drl"
 	"routerless/internal/rec"
+	"routerless/internal/sim"
 	"routerless/internal/stats"
 )
 
@@ -132,11 +133,21 @@ func Table5ParsecExecTime(o Options) *Report {
 	n := 8
 	recT := RECDesign(n)
 	drlT := DRLDesign(n, rec.MaxOverlap(n), o)
-	for _, prof := range ParsecSuite(o) {
-		m2 := AppRunMesh(n, 2, prof, o).AvgLatency
-		m1 := AppRunMesh(n, 1, prof, o).AvgLatency
-		rc := AppRun(recT, prof, o).AvgLatency
-		dr := AppRun(drlT, prof, o).AvgLatency
+	suite := ParsecSuite(o)
+	var jobs []func() sim.Result
+	for _, prof := range suite {
+		jobs = append(jobs,
+			func() sim.Result { return AppRunMesh(n, 2, prof, o) },
+			func() sim.Result { return AppRunMesh(n, 1, prof, o) },
+			func() sim.Result { return AppRun(recT, prof, o) },
+			func() sim.Result { return AppRun(drlT, prof, o) })
+	}
+	res := runAll(o, jobs)
+	for i, prof := range suite {
+		m2 := res[4*i].AvgLatency
+		m1 := res[4*i+1].AvgLatency
+		rc := res[4*i+2].AvgLatency
+		dr := res[4*i+3].AvgLatency
 		// The reference latency for the execution-time model is the best
 		// achieved latency: that network runs the benchmark at BaseTime.
 		ideal := min4(m2, m1, rc, dr)

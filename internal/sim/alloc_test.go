@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+
+	"routerless/internal/rec"
+	"routerless/internal/traffic"
+)
+
+// These tests pin the PR's zero-allocation contract for the simulator hot
+// path: once a network has reached steady state, one full cycle —
+// injector Tick, packet Inject, network Step — touches the heap zero
+// times. Any regression (a new per-cycle make/append, a reintroduced
+// container/list, a lost buffer reuse) fails here before it shows up as a
+// sweep slowdown. Same methodology as the PR 2 DNN arena tests.
+
+func testZeroAllocCycle(t *testing.T, net Network, src Source) {
+	t.Helper()
+	// One packet pool shared by warmup and the measured phase, recycled by
+	// the network on delivery — the same ownership structure Run sets up.
+	pkts := pool[Packet]{}
+	recycle := func(p *Packet) { pkts.put(p) }
+	switch n := net.(type) {
+	case *Ring:
+		n.recycle = recycle
+	case *Mesh:
+		n.recycle = recycle
+	}
+	oneCycle := func(id int) {
+		for _, r := range src.Tick() {
+			p := pkts.get()
+			*p = Packet{ID: id, Src: r.Src, Dst: r.Dst, NumFlits: r.NumFlits, Done: -1}
+			net.Inject(p)
+		}
+		net.Step()
+	}
+	// Generous warmup: pools carve their blocks, queues reach peak
+	// occupancy, the pipeline buffer reaches steady capacity.
+	for i := 0; i < 3000; i++ {
+		oneCycle(i)
+	}
+	allocs := testing.AllocsPerRun(500, func() { oneCycle(1 << 20) })
+	if allocs != 0 {
+		t.Fatalf("steady-state cycle allocates %.1f times, want 0", allocs)
+	}
+}
+
+func TestRingStepZeroAllocSteadyState(t *testing.T) {
+	tp := rec.MustGenerate(8)
+	net := NewRing(tp, DefaultRingConfig())
+	src := traffic.NewInjector(8, 8, traffic.UniformRandom, 0.1, 128, 1)
+	testZeroAllocCycle(t, net, src)
+}
+
+func TestMeshStepZeroAllocSteadyState(t *testing.T) {
+	net := NewMesh(8, 8, MeshN(2))
+	src := traffic.NewInjector(8, 8, traffic.UniformRandom, 0.1, 256, 1)
+	testZeroAllocCycle(t, net, src)
+}
+
+func TestAppInjectorZeroAllocSteadyState(t *testing.T) {
+	prof, err := traffic.ParsecProfile("fluidanimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := rec.MustGenerate(8)
+	net := NewRing(tp, DefaultRingConfig())
+	src := traffic.NewAppInjector(prof, 8, 8, 128, 1)
+	testZeroAllocCycle(t, net, src)
+}
+
+// TestRunAllocsConstantPerRun pins the other half of the contract: total
+// allocations of a full sim.Run grow with the setup (pool blocks, ledger,
+// stats), not with the cycle count. Doubling the measured window must not
+// come close to doubling allocations.
+func TestRunAllocsConstantPerRun(t *testing.T) {
+	tp := rec.MustGenerate(8)
+	allocsFor := func(measure int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			net := NewRing(tp, DefaultRingConfig())
+			src := traffic.NewInjector(8, 8, traffic.UniformRandom, 0.1, 128, 1)
+			Run(net, src, RunConfig{WarmupCycles: 500, MeasureCycles: measure, DrainCycles: 2 * measure})
+		})
+	}
+	short, long := allocsFor(1000), allocsFor(4000)
+	// 4x the cycles should cost well under 2x the allocations; the slack
+	// absorbs pool-block carving for the larger in-flight population.
+	if long > 2*short {
+		t.Fatalf("Run allocations scale with cycles: %0.f @1000 cycles vs %0.f @4000", short, long)
+	}
+}
+
+// TestQueueReusesBacking exercises the queue compaction paths directly.
+func TestQueueReusesBacking(t *testing.T) {
+	var q queue[int]
+	// Steady push/pop with backlog must not grow the buffer unboundedly.
+	for i := 0; i < 10; i++ {
+		q.push(i)
+	}
+	for i := 0; i < 100000; i++ {
+		q.push(i)
+		q.pop()
+	}
+	if cap(q.buf) > 1024 {
+		t.Fatalf("queue backing grew to %d with steady backlog 10", cap(q.buf))
+	}
+	if q.len() != 10 {
+		t.Fatalf("len = %d, want 10", q.len())
+	}
+}
+
+func TestRingBufWrapsAndPanicsOnOverflow(t *testing.T) {
+	r := newRingBuf[int](3)
+	for round := 0; round < 5; round++ {
+		r.push(1)
+		r.push(2)
+		r.push(3)
+		if r.len() != 3 {
+			t.Fatalf("len = %d", r.len())
+		}
+		for want := 1; want <= 3; want++ {
+			if got := r.pop(); got != want {
+				t.Fatalf("pop = %d, want %d", got, want)
+			}
+		}
+	}
+	r.push(1)
+	r.push(2)
+	r.push(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on fixed-FIFO overflow")
+		}
+	}()
+	r.push(4)
+}

@@ -18,7 +18,7 @@ func (r *Ring) FailLoop(idx int) {
 		panic(fmt.Sprintf("sim: FailLoop index %d out of range", idx))
 	}
 	if r.failed == nil {
-		r.failed = make(map[int]bool)
+		r.failed = make([]bool, len(r.loops))
 	}
 	if r.failed[idx] {
 		return
@@ -37,17 +37,21 @@ func (r *Ring) FailLoop(idx int) {
 			f.pkt.remaining = -1 // failed marker; Done stays -1
 		}
 		ls.slot[i] = nil
+		r.flits.put(f)
 	}
 
-	// Rebuild routing around the failure.
+	// Rebuild routing around the failure and refresh the injection cache.
 	r.rt = topo.BuildRoutingTableExcluding(r.topo, r.failed)
+	r.cacheRoutes()
 
-	// Re-route or drop packets still queued at source NIs.
+	// Re-route or drop packets still queued at source NIs. Cycling each
+	// queue through exactly its current length preserves FIFO order.
 	for n := range r.srcQueue {
-		var keep []*injecting
-		for _, inj := range r.srcQueue[n] {
+		q := &r.srcQueue[n]
+		for cnt := q.len(); cnt > 0; cnt-- {
+			inj := q.pop()
 			if !r.failed[inj.loopIdx] {
-				keep = append(keep, inj)
+				q.push(inj)
 				continue
 			}
 			if inj.sent > 0 || inj.pkt.remaining <= 0 {
@@ -57,22 +61,21 @@ func (r *Ring) FailLoop(idx int) {
 					r.inFlight--
 					inj.pkt.remaining = -1
 				}
+				r.injs.put(inj)
 				continue
 			}
-			src := topo.NodeFromID(inj.pkt.Src, r.topo.Cols())
-			dst := topo.NodeFromID(inj.pkt.Dst, r.topo.Cols())
-			li := r.rt.Loop(src, dst)
+			li := int(r.routeLoop[inj.pkt.Src*r.topo.N()+inj.pkt.Dst])
 			if li < 0 {
 				r.droppedFlits += int64(inj.pkt.NumFlits)
 				r.inFlight--
 				inj.pkt.remaining = -1
+				r.injs.put(inj)
 				continue
 			}
 			inj.loopIdx = li
-			inj.distance = r.rt.Dist(src, dst)
-			keep = append(keep, inj)
+			inj.distance = int(r.routeDist[inj.pkt.Src*r.topo.N()+inj.pkt.Dst])
+			q.push(inj)
 		}
-		r.srcQueue[n] = keep
 	}
 }
 

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"container/list"
-
 	"routerless/internal/mesh"
 	"routerless/internal/topo"
 )
@@ -31,9 +29,11 @@ type meshFlit struct {
 	dst  topo.Node
 }
 
-// vcState is one virtual channel at one input port.
+// vcState is one virtual channel at one input port. The FIFO is a fixed
+// ring buffer: credit flow control bounds its occupancy at BufferFlits, so
+// it never allocates after construction.
 type vcState struct {
-	fifo *list.List // of *meshFlit
+	fifo ringBuf[*meshFlit]
 	// allocated output for the packet currently using this VC
 	// (wormhole: decided at the head flit, held until the tail leaves).
 	active  bool
@@ -67,16 +67,34 @@ type delivery struct {
 	toVC   int
 }
 
+// cand is one (input port, VC) switch-arbitration candidate.
+type cand struct {
+	p  mesh.Port
+	vc int
+}
+
 // Mesh is the cycle-accurate router-based mesh simulator.
 type Mesh struct {
 	rows, cols int
 	cfg        MeshConfig
 	routers    []*router
 	// pipe holds flits traversing pipeline+link, ordered FIFO per edge by
-	// construction (arrival times are monotone per VC).
-	pipe []delivery
+	// construction (arrival times are monotone per VC). pipeScratch is the
+	// retained filter buffer Step swaps with pipe each cycle.
+	pipe        []delivery
+	pipeScratch []delivery
 
-	srcQueue  [][]*Packet
+	// cands enumerates every (port, VC) pair once; the shape is identical
+	// for all routers, so switch arbitration shares this read-only slice.
+	cands []cand
+
+	// flits recycles meshFlit records; steady-state injection and
+	// delivery never allocate.
+	flits pool[meshFlit]
+	// recycle, when set, reclaims a completed packet (the Run freelist).
+	recycle func(*Packet)
+
+	srcQueue  []queue[*Packet]
 	srcSent   []int // flits of head packet already injected
 	srcVC     []int // local VC chosen for the head packet mid-injection
 	cycle     int
@@ -95,7 +113,7 @@ func NewMesh(rows, cols int, cfg MeshConfig) *Mesh {
 	}
 	m := &Mesh{
 		rows: rows, cols: cols, cfg: cfg,
-		srcQueue: make([][]*Packet, rows*cols),
+		srcQueue: make([]queue[*Packet], rows*cols),
 		srcSent:  make([]int, rows*cols),
 		srcVC:    make([]int, rows*cols),
 	}
@@ -104,7 +122,7 @@ func NewMesh(rows, cols int, cfg MeshConfig) *Mesh {
 		for p := mesh.Port(0); p < mesh.NumPorts; p++ {
 			ip := &inputPort{}
 			for v := 0; v < cfg.VCs; v++ {
-				ip.vcs = append(ip.vcs, &vcState{fifo: list.New()})
+				ip.vcs = append(ip.vcs, &vcState{fifo: newRingBuf[*meshFlit](cfg.BufferFlits)})
 			}
 			r.inputs[p] = ip
 			r.credits[p] = make([]int, cfg.VCs)
@@ -114,6 +132,11 @@ func NewMesh(rows, cols int, cfg MeshConfig) *Mesh {
 			}
 		}
 		m.routers = append(m.routers, r)
+	}
+	for p := mesh.Port(0); p < mesh.NumPorts; p++ {
+		for v := 0; v < cfg.VCs; v++ {
+			m.cands = append(m.cands, cand{p, v})
+		}
 	}
 	return m
 }
@@ -130,7 +153,7 @@ func (m *Mesh) InFlight() int { return m.inFlight }
 // Inject implements Network.
 func (m *Mesh) Inject(p *Packet) {
 	p.remaining = p.NumFlits
-	m.srcQueue[p.Src] = append(m.srcQueue[p.Src], p)
+	m.srcQueue[p.Src].push(p)
 	m.inFlight++
 }
 
@@ -138,16 +161,19 @@ func (m *Mesh) Inject(p *Packet) {
 // buffers; switch allocation + traversal at every router; NI injection and
 // ejection.
 func (m *Mesh) Step() {
-	// Phase 1: land flits whose pipeline+link delay elapsed.
-	var keep []delivery
+	// Phase 1: land flits whose pipeline+link delay elapsed. Survivors are
+	// compacted into the retained scratch buffer, then the buffers swap —
+	// no per-cycle slice allocation.
+	keep := m.pipeScratch[:0]
 	for _, d := range m.pipe {
 		if d.at > m.cycle {
 			keep = append(keep, d)
 			continue
 		}
 		rt := m.routers[d.toNode]
-		rt.inputs[d.toPort].vcs[d.toVC].fifo.PushBack(d.flit)
+		rt.inputs[d.toPort].vcs[d.toVC].fifo.push(d.flit)
 	}
+	m.pipeScratch = m.pipe[:0]
 	m.pipe = keep
 
 	// Phase 2: ejection — each router sinks up to one flit per cycle from
@@ -177,16 +203,16 @@ func (m *Mesh) Step() {
 func (m *Mesh) ejectOne(id int, rt *router) {
 	for p := mesh.Port(0); p < mesh.NumPorts; p++ {
 		for v, vc := range rt.inputs[p].vcs {
-			if vc.fifo.Len() == 0 {
+			if vc.fifo.len() == 0 {
 				continue
 			}
-			f := vc.fifo.Front().Value.(*meshFlit)
+			f := vc.fifo.front()
 			if f.dst.ID(m.cols) != id {
 				continue
 			}
 			// Wormhole ordering: the whole packet drains through this VC
 			// one flit per cycle.
-			vc.fifo.Remove(vc.fifo.Front())
+			vc.fifo.pop()
 			if p != mesh.Local {
 				m.creditReturnVC(id, p, v)
 			}
@@ -196,17 +222,21 @@ func (m *Mesh) ejectOne(id int, rt *router) {
 	}
 }
 
-// finish retires a delivered flit.
+// finish retires a delivered flit and recycles it.
 func (m *Mesh) finish(f *meshFlit) {
-	p := f.pkt
+	p, hops := f.pkt, f.hops
+	m.flits.put(f)
 	p.remaining--
 	m.deliveredFlits++
-	if f.hops > p.Hops {
-		p.Hops = f.hops
+	if hops > p.Hops {
+		p.Hops = hops
 	}
 	if p.remaining == 0 {
 		p.Done = m.cycle
 		m.inFlight--
+		if m.recycle != nil {
+			m.recycle(p)
+		}
 	}
 }
 
@@ -214,27 +244,18 @@ func (m *Mesh) finish(f *meshFlit) {
 // router id: at most one flit leaves per output port per cycle.
 func (m *Mesh) switchAlloc(id int, rt *router) {
 	usedOut := [mesh.NumPorts]bool{}
-	// Iterate inputs starting from a rotating offset per output for
-	// fairness. Simpler: iterate all (port, vc) pairs in rotated order.
-	type cand struct {
-		p  mesh.Port
-		vc int
-	}
-	var cands []cand
-	for p := mesh.Port(0); p < mesh.NumPorts; p++ {
-		for v := range rt.inputs[p].vcs {
-			cands = append(cands, cand{p, v})
-		}
-	}
+	// Iterate all (port, vc) pairs starting from a rotating offset for
+	// fairness; the candidate list is shared and read-only.
+	cands := m.cands
 	off := rt.rrIn[0] % len(cands)
 	rt.rrIn[0]++
 	for k := 0; k < len(cands); k++ {
 		c := cands[(k+off)%len(cands)]
 		vc := rt.inputs[c.p].vcs[c.vc]
-		if vc.fifo.Len() == 0 {
+		if vc.fifo.len() == 0 {
 			continue
 		}
-		f := vc.fifo.Front().Value.(*meshFlit)
+		f := vc.fifo.front()
 		if f.dst.ID(m.cols) == id {
 			continue // ejection handled separately
 		}
@@ -266,7 +287,7 @@ func (m *Mesh) switchAlloc(id int, rt *router) {
 		}
 		// Traverse: consume credit, schedule arrival after pipeline+link.
 		rt.credits[outPort][vc.outVC]--
-		vc.fifo.Remove(vc.fifo.Front())
+		vc.fifo.pop()
 		if c.p != mesh.Local {
 			m.creditReturnVC(id, c.p, c.vc)
 		}
@@ -320,12 +341,12 @@ func (m *Mesh) creditReturnVC(id int, p mesh.Port, vcIdx int) {
 // injectOne moves flits of the head packet at node id's NI into the Local
 // input port, one flit per cycle, respecting local buffer capacity.
 func (m *Mesh) injectOne(id int) {
-	q := m.srcQueue[id]
-	if len(q) == 0 {
+	q := &m.srcQueue[id]
+	if q.len() == 0 {
 		return
 	}
 	rt := m.routers[id]
-	p := q[0]
+	p := q.front()
 	// Pick a local VC: head flits need a VC whose fifo can take the whole
 	// packet progressively; use the emptiest.
 	best, bestFree := -1, 0
@@ -334,10 +355,10 @@ func (m *Mesh) injectOne(id int) {
 		// head, so while mid-injection stick to the chosen VC.
 		v := m.srcVC[id]
 		best = v
-		bestFree = m.cfg.BufferFlits - rt.inputs[mesh.Local].vcs[v].fifo.Len()
+		bestFree = m.cfg.BufferFlits - rt.inputs[mesh.Local].vcs[v].fifo.len()
 	} else {
 		for v, vc := range rt.inputs[mesh.Local].vcs {
-			free := m.cfg.BufferFlits - vc.fifo.Len()
+			free := m.cfg.BufferFlits - vc.fifo.len()
 			if free > bestFree {
 				best, bestFree = v, free
 			}
@@ -346,20 +367,19 @@ func (m *Mesh) injectOne(id int) {
 	if best < 0 || bestFree == 0 {
 		return
 	}
-	f := &meshFlit{
-		pkt:  p,
-		head: m.srcSent[id] == 0,
-		tail: m.srcSent[id] == p.NumFlits-1,
-		dst:  topo.NodeFromID(p.Dst, m.cols),
-	}
+	f := m.flits.get()
+	f.pkt = p
+	f.head = m.srcSent[id] == 0
+	f.tail = m.srcSent[id] == p.NumFlits-1
+	f.dst = topo.NodeFromID(p.Dst, m.cols)
 	if f.head {
 		m.srcVC[id] = best
 	}
-	rt.inputs[mesh.Local].vcs[best].fifo.PushBack(f)
+	rt.inputs[mesh.Local].vcs[best].fifo.push(f)
 	m.injectedFlits++
 	m.srcSent[id]++
 	if m.srcSent[id] == p.NumFlits {
-		m.srcQueue[id] = q[1:]
+		q.pop()
 		m.srcSent[id] = 0
 	}
 }
@@ -378,7 +398,7 @@ func (m *Mesh) BufferOccupancy() int {
 	for _, rt := range m.routers {
 		for _, ip := range rt.inputs {
 			for _, vc := range ip.vcs {
-				n += vc.fifo.Len()
+				n += vc.fifo.len()
 			}
 		}
 	}

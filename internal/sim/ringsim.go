@@ -55,19 +55,37 @@ type Ring struct {
 	// posOf[loopIdx][nodeID] = perimeter index or -1.
 	posOf [][]int
 
+	// routeLoop/routeDist flatten the routing table by src*N+dst so the
+	// injection path is two array reads (rebuilt by FailLoop).
+	routeLoop []int32
+	routeDist []int32
+
 	// srcQueue[node] holds packets awaiting injection, each tracked by
 	// flits remaining to inject.
-	srcQueue [][]*injecting
+	srcQueue []queue[*injecting]
 	// extension[node] holds flits parked awaiting an ejection port.
-	extension [][]*flit
+	extension []ringBuf[*flit]
+
+	// flits/injs recycle the per-flit and per-packet-in-queue records; in
+	// steady state injection and delivery never allocate.
+	flits pool[flit]
+	injs  pool[injecting]
+
+	// ejected is Step's per-cycle ejection-port scratch, hoisted here so
+	// the forwarding path allocates nothing.
+	ejected []int
 
 	cycle    int
 	inFlight int
 
-	// failed marks loops disabled by FailLoop (reliability studies).
-	failed map[int]bool
+	// failed[i] marks loop i disabled by FailLoop (reliability studies);
+	// nil until the first failure.
+	failed []bool
 	// onDeliver, when set, observes each completed packet (tracing).
 	onDeliver func(*Packet)
+	// recycle, when set, reclaims a completed packet (the Run packet
+	// freelist); invoked after onDeliver.
+	recycle func(*Packet)
 
 	slotSamples    int64
 	slotOccupied   int64
@@ -89,10 +107,14 @@ func NewRing(t *topo.Topology, cfg RingConfig) *Ring {
 		topo:      t,
 		rt:        topo.BuildRoutingTable(t),
 		cfg:       cfg,
-		srcQueue:  make([][]*injecting, t.N()),
-		extension: make([][]*flit, t.N()),
+		srcQueue:  make([]queue[*injecting], t.N()),
+		extension: make([]ringBuf[*flit], t.N()),
+		ejected:   make([]int, t.N()),
 	}
-	for li, l := range t.Loops() {
+	for i := range r.extension {
+		r.extension[i] = newRingBuf[*flit](cfg.ExtensionBuffers)
+	}
+	for _, l := range t.Loops() {
 		ls := &loopState{
 			loop: l,
 			slot: make([]*flit, l.Len()),
@@ -110,9 +132,25 @@ func NewRing(t *topo.Topology, cfg RingConfig) *Ring {
 			pos[id] = i
 		}
 		r.posOf = append(r.posOf, pos)
-		_ = li
 	}
+	r.loopOccupied = make([]int64, len(r.loops))
+	r.cacheRoutes()
 	return r
+}
+
+// cacheRoutes flattens the routing table into the injection-path arrays.
+func (r *Ring) cacheRoutes() {
+	n := r.topo.N()
+	if r.routeLoop == nil {
+		r.routeLoop = make([]int32, n*n)
+		r.routeDist = make([]int32, n*n)
+	}
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			r.routeLoop[s*n+d] = int32(r.rt.LoopID(s, d))
+			r.routeDist[s*n+d] = int32(r.rt.DistID(s, d))
+		}
+	}
 }
 
 // injecting tracks a packet mid-injection at its source NI.
@@ -135,13 +173,15 @@ func (r *Ring) InFlight() int { return r.inFlight }
 // Inject implements Network: the packet joins its source queue and is
 // placed onto its loop as slots pass by.
 func (r *Ring) Inject(p *Packet) {
-	li := r.rt.Loop(topo.NodeFromID(p.Src, r.topo.Cols()), topo.NodeFromID(p.Dst, r.topo.Cols()))
+	n := r.topo.N()
+	li := int(r.routeLoop[p.Src*n+p.Dst])
 	if li < 0 {
 		panic(fmt.Sprintf("sim: no loop connects %d -> %d", p.Src, p.Dst))
 	}
 	p.remaining = p.NumFlits
-	d := r.rt.Dist(topo.NodeFromID(p.Src, r.topo.Cols()), topo.NodeFromID(p.Dst, r.topo.Cols()))
-	r.srcQueue[p.Src] = append(r.srcQueue[p.Src], &injecting{pkt: p, loopIdx: li, distance: d})
+	inj := r.injs.get()
+	inj.pkt, inj.loopIdx, inj.distance = p, li, int(r.routeDist[p.Src*n+p.Dst])
+	r.srcQueue[p.Src].push(inj)
 	r.inFlight++
 }
 
@@ -152,21 +192,26 @@ func (r *Ring) Inject(p *Packet) {
 //  2. advance — every remaining flit moves one hop (never stalls);
 //  3. injection — source NIs place queued flits into empty slots.
 func (r *Ring) Step() {
-	ejected := make([]int, r.topo.N())
+	ejected := r.ejected
+	for i := range ejected {
+		ejected[i] = 0
+	}
 
 	// Phase 0: drain extension buffers into ejection ports first (they
 	// arrived earliest).
 	for n := 0; n < r.topo.N(); n++ {
-		for len(r.extension[n]) > 0 && ejected[n] < r.cfg.EjectPorts {
-			f := r.extension[n][0]
-			r.extension[n] = r.extension[n][1:]
-			r.finishFlit(f)
+		ext := &r.extension[n]
+		for ext.len() > 0 && ejected[n] < r.cfg.EjectPorts {
+			r.finishFlit(ext.pop())
 			ejected[n]++
 		}
 	}
 
 	// Phase 1+2: ejection decision and advance, per loop.
 	for li, ls := range r.loops {
+		if li < len(r.failed) && r.failed[li] {
+			continue
+		}
 		for i := range ls.next {
 			ls.next[i] = nil
 		}
@@ -181,8 +226,8 @@ func (r *Ring) Step() {
 					r.finishFlit(f)
 					continue
 				}
-				if len(r.extension[node]) < r.cfg.ExtensionBuffers {
-					r.extension[node] = append(r.extension[node], f)
+				if r.extension[node].len() < r.cfg.ExtensionBuffers {
+					r.extension[node].push(f)
 					continue
 				}
 				// No room: circulate the loop again.
@@ -196,37 +241,37 @@ func (r *Ring) Step() {
 			ls.next[j] = f
 		}
 		ls.slot, ls.next = ls.next, ls.slot
-		_ = li
 	}
 
 	// Phase 3: injection.
 	for n := 0; n < r.topo.N(); n++ {
 		budget := r.cfg.InjectPerCycle
-		q := r.srcQueue[n]
-		for budget > 0 && len(q) > 0 {
-			inj := q[0]
+		q := &r.srcQueue[n]
+		for budget > 0 && q.len() > 0 {
+			inj := q.front()
 			ls := r.loops[inj.loopIdx]
 			pos := r.posOf[inj.loopIdx][n]
 			if ls.slot[pos] != nil {
 				break // ring traffic has priority; wait for a gap
 			}
-			f := &flit{pkt: inj.pkt, tail: inj.sent == inj.pkt.NumFlits-1}
+			f := r.flits.get()
+			f.pkt, f.tail = inj.pkt, inj.sent == inj.pkt.NumFlits-1
 			ls.slot[pos] = f
 			r.injectedFlits++
 			inj.sent++
 			budget--
 			if inj.sent == inj.pkt.NumFlits {
-				q = q[1:]
+				q.pop()
+				r.injs.put(inj)
 			}
 		}
-		r.srcQueue[n] = q
 	}
 
 	// Utilization sampling (global and per loop).
-	if r.loopOccupied == nil {
-		r.loopOccupied = make([]int64, len(r.loops))
-	}
 	for li, ls := range r.loops {
+		if li < len(r.failed) && r.failed[li] {
+			continue
+		}
 		r.slotSamples += int64(len(ls.slot))
 		for _, f := range ls.slot {
 			if f != nil {
@@ -238,22 +283,26 @@ func (r *Ring) Step() {
 	r.cycle++
 }
 
-// finishFlit retires one flit at its destination.
+// finishFlit retires one flit at its destination and recycles it.
 func (r *Ring) finishFlit(f *flit) {
-	p := f.pkt
+	p, hops := f.pkt, f.hops
+	r.flits.put(f)
 	if p.remaining <= 0 {
 		return // packet already lost to a loop failure
 	}
 	p.remaining--
 	r.deliveredFlits++
-	if f.hops > p.Hops {
-		p.Hops = f.hops
+	if hops > p.Hops {
+		p.Hops = hops
 	}
 	if p.remaining == 0 {
 		p.Done = r.cycle
 		r.inFlight--
 		if r.onDeliver != nil {
 			r.onDeliver(p)
+		}
+		if r.recycle != nil {
+			r.recycle(p)
 		}
 	}
 }
@@ -285,8 +334,8 @@ func (r *Ring) DeliveredFlits() int64 { return r.deliveredFlits }
 // beyond the loop slots themselves.
 func (r *Ring) BufferOccupancy() int {
 	n := 0
-	for _, ext := range r.extension {
-		n += len(ext)
+	for i := range r.extension {
+		n += r.extension[i].len()
 	}
 	return n
 }

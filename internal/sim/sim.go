@@ -37,6 +37,9 @@ type Packet struct {
 	Hops int
 	// remaining counts flits not yet ejected.
 	remaining int
+	// measured marks packets injected during the measurement window; the
+	// run freelist reclaims unmeasured (warmup) packets on delivery.
+	measured bool
 }
 
 // Network is a cycle-accurate NoC model.
@@ -122,12 +125,41 @@ func DefaultRunConfig() RunConfig {
 
 // Run drives src over net per cfg and returns measurements for packets
 // injected during the measurement window.
+//
+// Run owns a packet freelist for the duration of the run: warmup packets
+// are reclaimed as they deliver (via the in-package recycle hook on Ring
+// and Mesh) and reused for measurement traffic, so the steady-state
+// injection path performs no heap allocation. Measured packets are held
+// until statistics are computed and released with the run.
 func Run(net Network, src Source, cfg RunConfig) Result {
 	probe := newRunProbe(net, cfg)
+
+	// One pool per run, one network per run: attach the reclaim hook for
+	// the network models this package owns. Unknown Network implementations
+	// simply skip recycling (packets fall to the GC as before).
+	pkts := pool[Packet]{}
+	recycle := func(p *Packet) {
+		if !p.measured {
+			pkts.put(p)
+		}
+	}
+	switch n := net.(type) {
+	case *Ring:
+		prev := n.recycle
+		n.recycle = recycle
+		defer func() { n.recycle = prev }()
+	case *Mesh:
+		prev := n.recycle
+		n.recycle = recycle
+		defer func() { n.recycle = prev }()
+	}
+
 	nextID := 0
-	injectTick := func(measured bool) (sent int, packets []*Packet) {
+	warmSent := 0
+	for i := 0; i < cfg.WarmupCycles; i++ {
 		for _, r := range src.Tick() {
-			p := &Packet{
+			p := pkts.get()
+			*p = Packet{
 				ID:  nextID,
 				Src: r.Src, Dst: r.Dst,
 				Class:    r.Class,
@@ -136,26 +168,38 @@ func Run(net Network, src Source, cfg RunConfig) Result {
 				Done:     -1,
 			}
 			nextID++
+			warmSent++
 			net.Inject(p)
-			if measured {
-				packets = append(packets, p)
-				sent++
-			}
 		}
-		return sent, packets
-	}
-
-	for i := 0; i < cfg.WarmupCycles; i++ {
-		injectTick(false)
 		net.Step()
 	}
 
-	var measured []*Packet
+	// Size the measurement ledger from the warmup injection rate so
+	// appends stay within capacity in steady state.
+	expected := 64
+	if cfg.WarmupCycles > 0 {
+		expected += warmSent * cfg.MeasureCycles / cfg.WarmupCycles
+		expected += expected / 8
+	}
+	measured := make([]*Packet, 0, expected)
 	res := Result{}
 	for i := 0; i < cfg.MeasureCycles; i++ {
-		sent, ps := injectTick(true)
-		res.PacketsSent += sent
-		measured = append(measured, ps...)
+		for _, r := range src.Tick() {
+			p := pkts.get()
+			*p = Packet{
+				ID:  nextID,
+				Src: r.Src, Dst: r.Dst,
+				Class:    r.Class,
+				NumFlits: r.NumFlits,
+				Injected: net.Cycle(),
+				Done:     -1,
+				measured: true,
+			}
+			nextID++
+			net.Inject(p)
+			measured = append(measured, p)
+			res.PacketsSent++
+		}
 		net.Step()
 		probe.tick("measure")
 	}
@@ -165,7 +209,8 @@ func Run(net Network, src Source, cfg RunConfig) Result {
 		probe.tick("drain")
 	}
 
-	var lat, hops []float64
+	lat := make([]float64, 0, len(measured))
+	hops := make([]float64, 0, len(measured))
 	for _, p := range measured {
 		if p.Done < 0 {
 			res.Saturated = true

@@ -20,10 +20,11 @@ func BuildRoutingTable(t *Topology) *RoutingTable {
 }
 
 // BuildRoutingTableExcluding computes the routing table while treating the
-// loops whose indices appear in failed as unusable — the degraded-mode
-// routing used by the reliability analysis (§6.7). Pairs connected only by
-// failed loops become unreachable.
-func BuildRoutingTableExcluding(t *Topology, failed map[int]bool) *RoutingTable {
+// loops whose indices are set in failed as unusable — the degraded-mode
+// routing used by the reliability analysis (§6.7). failed is indexed by
+// loop; nil (or short) means no exclusions. Pairs connected only by failed
+// loops become unreachable.
+func BuildRoutingTableExcluding(t *Topology, failed []bool) *RoutingTable {
 	n := t.N()
 	rt := &RoutingTable{
 		cols:  t.Cols(),
@@ -49,10 +50,10 @@ func BuildRoutingTableExcluding(t *Topology, failed map[int]bool) *RoutingTable 
 }
 
 // bestLoopExcluding is Topology.BestLoop skipping failed loop indices.
-func bestLoopExcluding(t *Topology, src, dst Node, failed map[int]bool) (loopIdx, dist int) {
+func bestLoopExcluding(t *Topology, src, dst Node, failed []bool) (loopIdx, dist int) {
 	loopIdx, dist = -1, -1
 	for _, li := range t.byNode[src.ID(t.cols)] {
-		if failed[li] {
+		if li < len(failed) && failed[li] {
 			continue
 		}
 		d := t.loops[li].Dist(src, dst)
@@ -79,3 +80,10 @@ func (rt *RoutingTable) Dist(src, dst Node) int {
 func (rt *RoutingTable) Reachable(src, dst Node) bool {
 	return src == dst || rt.loops[src.ID(rt.cols)][dst.ID(rt.cols)] >= 0
 }
+
+// LoopID is Loop over raw node IDs, avoiding the Node round-trip on the
+// simulator's injection path.
+func (rt *RoutingTable) LoopID(src, dst int) int { return rt.loops[src][dst] }
+
+// DistID is Dist over raw node IDs.
+func (rt *RoutingTable) DistID(src, dst int) int { return rt.dist[src][dst] }

@@ -70,7 +70,8 @@ type AppInjector struct {
 	LinkBits   int
 
 	rng    *rand.Rand
-	active []bool // per node: injected last cycle (burst state)
+	active []bool    // per node: injected last cycle (burst state)
+	buf    []Request // reused across Tick calls
 }
 
 // NewAppInjector constructs a deterministic injector for the profile.
@@ -123,8 +124,10 @@ func abs(x int) int {
 // Tick returns this cycle's injection requests. Injection follows a
 // two-state Markov process per node whose stationary rate matches
 // Profile.Rate, producing the bursty arrivals real applications exhibit.
+// The returned slice is reused by the next Tick call; callers must consume
+// it before ticking again.
 func (a *AppInjector) Tick() []Request {
-	var out []Request
+	out := a.buf[:0]
 	n := a.Rows * a.Cols
 	pPacket := a.Profile.Rate / a.avgFlitsPerPacket()
 	// Markov modulation: P(inject | active) = burst; solve
@@ -163,6 +166,7 @@ func (a *AppInjector) Tick() []Request {
 		}
 		out = append(out, Request{Src: src, Dst: dst, Class: class, NumFlits: Flits(class, a.LinkBits)})
 	}
+	a.buf = out
 	return out
 }
 

@@ -20,6 +20,7 @@ type HotspotInjector struct {
 	LinkBits     int
 
 	rng *rand.Rand
+	buf []Request // reused across Tick calls
 }
 
 // NewHotspotInjector builds the injector; hotspots default to the four
@@ -43,9 +44,10 @@ func NewHotspotInjector(rows, cols int, rate, hotFraction float64, hotspots []in
 	}
 }
 
-// Tick implements the sim.Source contract.
+// Tick implements the sim.Source contract. The returned slice is reused
+// by the next Tick call.
 func (h *HotspotInjector) Tick() []Request {
-	var out []Request
+	out := h.buf[:0]
 	n := h.Rows * h.Cols
 	fc := float64(Flits(Control, h.LinkBits))
 	fd := float64(Flits(Data, h.LinkBits))
@@ -70,6 +72,7 @@ func (h *HotspotInjector) Tick() []Request {
 		}
 		out = append(out, Request{Src: src, Dst: dst, Class: class, NumFlits: Flits(class, h.LinkBits)})
 	}
+	h.buf = out
 	return out
 }
 
@@ -83,6 +86,7 @@ type NeighborInjector struct {
 	LinkBits     int
 
 	rng *rand.Rand
+	buf []Request // reused across Tick calls
 }
 
 // NewNeighborInjector builds the injector.
@@ -94,9 +98,10 @@ func NewNeighborInjector(rows, cols int, rate float64, linkBits int, seed int64)
 	}
 }
 
-// Tick implements the sim.Source contract.
+// Tick implements the sim.Source contract. The returned slice is reused
+// by the next Tick call.
 func (ni *NeighborInjector) Tick() []Request {
-	var out []Request
+	out := ni.buf[:0]
 	n := ni.Rows * ni.Cols
 	fc := float64(Flits(Control, ni.LinkBits))
 	fd := float64(Flits(Data, ni.LinkBits))
@@ -107,20 +112,23 @@ func (ni *NeighborInjector) Tick() []Request {
 			continue
 		}
 		node := topo.NodeFromID(src, ni.Cols)
-		var nbs []int
-		for _, d := range [][2]int{{0, 1}, {0, -1}, {1, 0}, {-1, 0}} {
+		var nbs [4]int
+		cnt := 0
+		for _, d := range [4][2]int{{0, 1}, {0, -1}, {1, 0}, {-1, 0}} {
 			r, c := node.Row+d[0], node.Col+d[1]
 			if r < 0 || r >= ni.Rows || c < 0 || c >= ni.Cols {
 				continue
 			}
-			nbs = append(nbs, topo.Node{Row: r, Col: c}.ID(ni.Cols))
+			nbs[cnt] = topo.Node{Row: r, Col: c}.ID(ni.Cols)
+			cnt++
 		}
-		dst := nbs[ni.rng.Intn(len(nbs))]
+		dst := nbs[ni.rng.Intn(cnt)]
 		class := Control
 		if ni.rng.Float64() < ni.DataFraction {
 			class = Data
 		}
 		out = append(out, Request{Src: src, Dst: dst, Class: class, NumFlits: Flits(class, ni.LinkBits)})
 	}
+	ni.buf = out
 	return out
 }

@@ -141,6 +141,7 @@ type Injector struct {
 	LinkBits int
 
 	rng *rand.Rand
+	buf []Request // reused across Tick calls
 }
 
 // NewInjector builds an injector with the paper's defaults: 50/50
@@ -171,9 +172,11 @@ type Request struct {
 }
 
 // Tick returns the injection requests for one cycle across all nodes.
-// Packets whose pattern maps a node to itself are skipped.
+// Packets whose pattern maps a node to itself are skipped. The returned
+// slice is reused by the next Tick call; callers must consume it before
+// ticking again (the simulator's per-cycle loop does).
 func (in *Injector) Tick() []Request {
-	var out []Request
+	out := in.buf[:0]
 	n := in.Rows * in.Cols
 	pPacket := in.Rate / in.avgFlitsPerPacket()
 	for src := 0; src < n; src++ {
@@ -194,5 +197,6 @@ func (in *Injector) Tick() []Request {
 			NumFlits: Flits(class, in.LinkBits),
 		})
 	}
+	in.buf = out
 	return out
 }
