@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-nn bench-sim
+.PHONY: ci vet build test race bench bench-nn bench-sim bench-drl
 
 ci: vet build test race
 
@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/drl/... ./internal/sim/... ./internal/obs/... ./internal/mcts/... ./internal/exp/...
+	$(GO) test -race ./internal/drl/... ./internal/sim/... ./internal/obs/... ./internal/mcts/... ./internal/exp/... ./internal/rl/...
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' .
@@ -36,3 +36,12 @@ bench-nn:
 # BENCH_PR3.json.
 bench-sim:
 	$(GO) test -bench 'BenchmarkRingStep|BenchmarkMeshStep|BenchmarkSimRun' -benchmem -run '^$$' .
+
+# Quick iteration loop for the DRL episode hot path (incremental greedy
+# score cache, episode arenas, cached fingerprints). Allocation counts are
+# the regression signal — internal/rl's and internal/drl's AllocsPerRun
+# tests pin the greedy step, state encoding, and fingerprint at zero.
+# Before/after numbers for PR 4 live in BENCH_PR4.json.
+bench-drl:
+	$(GO) test -bench 'BenchmarkGreedyComplete|BenchmarkFingerprint' -benchmem -run '^$$' .
+	$(GO) test -bench 'BenchmarkDRLEpisode' -benchmem -run '^$$' ./internal/drl/

@@ -346,6 +346,40 @@ func BenchmarkGreedyScan(b *testing.B) {
 	}
 }
 
+// BenchmarkGreedyComplete measures a full Algorithm 1 design construction
+// from a blank grid — the episode completion phase every DRL exploration
+// cycle runs (Fig. 4), and the unit the incremental score table speeds up.
+// Before/after numbers for PR 4 live in BENCH_PR4.json.
+func BenchmarkGreedyComplete(b *testing.B) {
+	// Smallest caps under which Algorithm 1 reaches full connectivity.
+	for _, g := range []struct{ n, cap int }{{8, 14}, {10, 20}} {
+		n, cap := g.n, g.cap
+		b.Run(strconv.Itoa(n)+"x"+strconv.Itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				env := rl.NewEnv(n, cap)
+				rl.GreedyComplete(env)
+				if !env.FullyConnected() {
+					b.Fatal("greedy failed to connect the design")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFingerprint measures the MCTS state key on a complete design —
+// called once per episode step to look up tree nodes.
+func BenchmarkFingerprint(b *testing.B) {
+	t := rec.MustGenerate(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(t.Fingerprint()) == 0 {
+			b.Fatal("empty fingerprint")
+		}
+	}
+}
+
 func BenchmarkHopMatrix(b *testing.B) {
 	t := rec.MustGenerate(8)
 	b.ResetTimer()

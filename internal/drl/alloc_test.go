@@ -1,0 +1,38 @@
+package drl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEpisodeAllocBudget pins the episode arena contract: a warmed-up
+// worker runs a full exploration cycle — fingerprints, state encodings,
+// legality enumeration, prior sampling, greedy completion, final reward —
+// inside a small fixed allocation budget. What remains is genuinely
+// retained output: the cloned design of a valid episode and the canonical
+// fingerprint strings rendered for states the episode visits. Before the
+// arena refactor one episode at this size cost tens of thousands of
+// allocations; a regression toward that shows up here long before it
+// shows up in a training run.
+//
+// The DNN and MCTS halves are disabled so the budget measures the episode
+// machinery itself; the network owns its own arena (PR 2 tests) and tree
+// growth is retained state, both separately benchmarked.
+func TestEpisodeAllocBudget(t *testing.T) {
+	cfg := DefaultConfig(6, 10)
+	cfg.UseDNN = false
+	cfg.UseMCTS = false
+	s := MustNew(cfg)
+	rng := rand.New(rand.NewSource(5))
+	ar := s.newArena()
+	for i := 0; i < 5; i++ {
+		s.runEpisode(nil, rng, cfg.GuidedActions, ar)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		s.runEpisode(nil, rng, cfg.GuidedActions, ar)
+	})
+	const budget = 60
+	if allocs > budget {
+		t.Fatalf("warmed-up episode allocates %.1f times, budget %d", allocs, budget)
+	}
+}

@@ -1,0 +1,31 @@
+package drl
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"routerless/internal/nn"
+)
+
+// BenchmarkDRLEpisode measures one full exploration cycle (Fig. 4): the
+// guided DNN/MCTS prefix plus the Algorithm 1 completion phase and final
+// reward. This is the unit of work Run repeats Episodes times per thread.
+// Before/after numbers for PR 4 live in BENCH_PR4.json.
+func BenchmarkDRLEpisode(b *testing.B) {
+	for _, n := range []int{8, 10} {
+		b.Run(strconv.Itoa(n)+"x"+strconv.Itoa(n), func(b *testing.B) {
+			cfg := DefaultConfig(n, 2*(n-1))
+			cfg.NN = nn.Config{N: n, BaseChannels: 2, Pools: 2}
+			s := MustNew(cfg)
+			net := nn.NewPolicyValueNet(cfg.NN, cfg.Seed)
+			rng := rand.New(rand.NewSource(7))
+			ar := s.newArena()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.runEpisode(net, rng, cfg.GuidedActions, ar)
+			}
+		})
+	}
+}

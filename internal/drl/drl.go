@@ -12,7 +12,6 @@ package drl
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 
 	"routerless/internal/mcts"
@@ -262,6 +261,7 @@ func (s *Searcher) worker(tid, episodes int) {
 		net.SetWeights(weights)
 	}
 	a2c := rl.A2C{Gamma: s.cfg.Gamma, ValueCoeff: 0.5}
+	ar := s.newArena()
 	// Metric handles are resolved once per worker; all of them are no-ops
 	// when the search runs without a registry.
 	reg := s.cfg.Metrics
@@ -277,7 +277,7 @@ func (s *Searcher) worker(tid, episodes int) {
 	// to the configured value, recovering exploration breadth.
 	guided := s.cfg.GuidedActions
 	for ep := 0; ep < episodes; ep++ {
-		traj, path, design := s.runEpisode(net, rng, guided)
+		traj, path, design := s.runEpisode(net, rng, guided, ar)
 		if design == nil {
 			if guided > 1 {
 				guided--
@@ -287,7 +287,11 @@ func (s *Searcher) worker(tid, episodes int) {
 		}
 
 		// Backup through the tree with discounted returns-to-go.
-		returns := make([]float64, len(traj.Steps))
+		if cap(ar.returns) < len(traj.Steps) {
+			ar.returns = make([]float64, len(traj.Steps))
+		}
+		returns := ar.returns[:len(traj.Steps)]
+		ar.returns = returns
 		g := traj.Final
 		for i := len(traj.Steps) - 1; i >= 0; i-- {
 			g = traj.Steps[i].Reward + s.cfg.Gamma*g
@@ -362,9 +366,50 @@ func rewardBuckets() []float64 {
 	return []float64{-1000, -300, -100, -30, -10, -3, -1, 0, 1, 3, 10, 30}
 }
 
+// episodeArena is one worker's reusable episode state. Every buffer an
+// episode needs — the environment itself (with its topology and greedy
+// score cache), the trajectory and tree path, one state matrix per
+// decision point, the flat prior weights, and the backup returns — is
+// allocated once per worker and recycled, so steady-state episodes touch
+// the heap only for results that outlive them (valid designs, new tree
+// nodes, fingerprint keys).
+type episodeArena struct {
+	env     *rl.Env
+	traj    rl.Trajectory
+	path    []mcts.PathStep
+	returns []float64
+	// states holds one reusable hop-matrix buffer per trajectory step;
+	// StepRecord.State aliases these until the next episode overwrites
+	// them, which is safe because training consumes the trajectory before
+	// the worker starts its next episode.
+	states [][]float64
+	// priors holds the prior weight of each legal action, aligned with the
+	// slice LegalActions returned.
+	priors []float64
+}
+
+// newArena builds a worker's arena with a configured environment.
+func (s *Searcher) newArena() *episodeArena {
+	env := rl.NewEnv(s.cfg.N, s.cfg.OverlapCap)
+	if s.cfg.IllegalPenalty != 0 {
+		env.IllegalPenalty = s.cfg.IllegalPenalty
+	}
+	env.MaxLoopLen = s.cfg.MaxLoopLen
+	return &episodeArena{env: env}
+}
+
+// stateBuf returns the reusable state buffer for trajectory step i.
+func (ar *episodeArena) stateBuf(i int) []float64 {
+	for len(ar.states) <= i {
+		ar.states = append(ar.states, nil)
+	}
+	return ar.states[i]
+}
+
 // runEpisode performs one exploration cycle (Fig. 4) and returns the
 // trajectory of guided steps, the tree path, and the finished design when
-// fully connected.
+// fully connected. The trajectory and path alias arena buffers valid until
+// the next runEpisode call on the same arena.
 //
 // Each episode has two phases. The guided phase takes up to GuidedActions
 // valid loop additions chosen by the DNN/MCTS policy (ε-greedy over
@@ -374,21 +419,22 @@ func rewardBuckets() []float64 {
 // actions ... to complete the design"). The final return reflects the
 // whole design, so guided prefixes leading to poor completions are
 // penalized through training.
-func (s *Searcher) runEpisode(net *nn.PolicyValueNet, rng *rand.Rand, guided int) (rl.Trajectory, []mcts.PathStep, *Design) {
-	env := rl.NewEnv(s.cfg.N, s.cfg.OverlapCap)
-	if s.cfg.IllegalPenalty != 0 {
-		env.IllegalPenalty = s.cfg.IllegalPenalty
-	}
-	env.MaxLoopLen = s.cfg.MaxLoopLen
-	var traj rl.Trajectory
-	var path []mcts.PathStep
+func (s *Searcher) runEpisode(net *nn.PolicyValueNet, rng *rand.Rand, guided int, ar *episodeArena) (rl.Trajectory, []mcts.PathStep, *Design) {
+	env := ar.env
+	env.Reset()
+	ar.traj.Steps = ar.traj.Steps[:0]
+	ar.traj.Final = 0
+	ar.path = ar.path[:0]
 
 	maxSteps := guided + s.cfg.MaxPenalties*(guided+1) + 4
 	penalties := 0
 	valid := 0
 	first := true
-	for len(traj.Steps) < maxSteps && valid < guided {
+	for len(ar.traj.Steps) < maxSteps && valid < guided {
 		fp := env.Fingerprint()
+		step := len(ar.traj.Steps)
+		state := env.StateInto(ar.stateBuf(step))
+		ar.states[step] = state
 		var a rl.Action
 		var ok bool
 		switch {
@@ -397,18 +443,17 @@ func (s *Searcher) runEpisode(net *nn.PolicyValueNet, rng *rand.Rand, guided int
 		case first && net != nil:
 			// The DNN proposes the initial action raw (Fig. 4); it may
 			// be penalized, teaching constraint compliance.
-			a, ok = sampleRaw(net, env, rng), true
+			a, ok = sampleRaw(net, state, rng), true
 		default:
-			a, ok = s.chooseAction(net, env, fp, rng)
+			a, ok = s.chooseAction(net, env, fp, state, rng, ar)
 		}
 		first = false
 		if !ok {
 			break // no legal action remains
 		}
-		state := env.State()
 		r, kind := env.Step(a)
-		traj.Steps = append(traj.Steps, rl.StepRecord{State: state, Action: a, Reward: r})
-		path = append(path, mcts.PathStep{Fingerprint: fp, Action: a})
+		ar.traj.Steps = append(ar.traj.Steps, rl.StepRecord{State: state, Action: a, Reward: r})
+		ar.path = append(ar.path, mcts.PathStep{Fingerprint: fp, Action: a})
 		if kind == rl.Valid {
 			penalties = 0
 			valid++
@@ -419,7 +464,7 @@ func (s *Searcher) runEpisode(net *nn.PolicyValueNet, rng *rand.Rand, guided int
 
 	s.complete(env)
 
-	traj.Final = env.FinalReward()
+	ar.traj.Final = env.FinalReward()
 	var design *Design
 	if env.FullyConnected() {
 		design = &Design{
@@ -428,7 +473,7 @@ func (s *Searcher) runEpisode(net *nn.PolicyValueNet, rng *rand.Rand, guided int
 			Loops:   env.Topology().NumLoops(),
 		}
 	}
-	return traj, path, design
+	return ar.traj, ar.path, design
 }
 
 // complete drives Algorithm 1 until the design stops improving: while not
@@ -440,8 +485,10 @@ func (s *Searcher) complete(env *rl.Env) {
 
 // chooseAction picks the next loop per the framework: ε-greedy Algorithm 1,
 // otherwise tree selection at known states (Eq. 21), otherwise
-// expansion+evaluation at leaves with DNN priors.
-func (s *Searcher) chooseAction(net *nn.PolicyValueNet, env *rl.Env, fp string, rng *rand.Rand) (rl.Action, bool) {
+// expansion+evaluation at leaves with DNN priors. state must be the
+// current hop-matrix encoding (already computed by the caller for the
+// trajectory record).
+func (s *Searcher) chooseAction(net *nn.PolicyValueNet, env *rl.Env, fp string, state []float64, rng *rand.Rand, ar *episodeArena) (rl.Action, bool) {
 	if rng.Float64() < s.cfg.Epsilon {
 		if a, ok := rl.Greedy(env); ok {
 			return a, true
@@ -461,26 +508,31 @@ func (s *Searcher) chooseAction(net *nn.PolicyValueNet, env *rl.Env, fp string, 
 	if len(legal) == 0 {
 		return rl.Action{}, false
 	}
-	priors := s.priors(net, env, legal)
+	priors := s.priorsInto(net, state, legal, ar)
 	if s.cfg.UseMCTS {
-		s.tree.Expand(fp, priors)
+		s.tree.Expand(fp, legal, priors)
 	}
-	return samplePriors(priors, rng), true
+	return samplePriors(legal, priors, rng), true
 }
 
-// priors maps each legal action to its (unnormalized) policy probability;
-// without a DNN, priors are uniform.
-func (s *Searcher) priors(net *nn.PolicyValueNet, env *rl.Env, legal []rl.Action) map[rl.Action]float64 {
-	priors := make(map[rl.Action]float64, len(legal))
+// priorsInto fills the arena's prior buffer with each legal action's
+// (unnormalized) policy probability, aligned with legal; without a DNN,
+// priors are uniform.
+func (s *Searcher) priorsInto(net *nn.PolicyValueNet, state []float64, legal []rl.Action, ar *episodeArena) []float64 {
+	if cap(ar.priors) < len(legal) {
+		ar.priors = make([]float64, len(legal))
+	}
+	priors := ar.priors[:len(legal)]
+	ar.priors = priors
 	if net == nil {
-		for _, a := range legal {
-			priors[a] = 1
+		for i := range priors {
+			priors[i] = 1
 		}
 		return priors
 	}
-	out := net.Forward(env.State(), false)
+	out := net.Forward(state, false)
 	pcw := (1 + out.Dir) / 2
-	for _, a := range legal {
+	for i, a := range legal {
 		p := out.CoordProbs[0][a.X1] * out.CoordProbs[1][a.Y1] *
 			out.CoordProbs[2][a.X2] * out.CoordProbs[3][a.Y2]
 		if a.Dir == topo.Clockwise {
@@ -488,15 +540,15 @@ func (s *Searcher) priors(net *nn.PolicyValueNet, env *rl.Env, legal []rl.Action
 		} else {
 			p *= 1 - pcw
 		}
-		priors[a] = p
+		priors[i] = p
 	}
 	return priors
 }
 
 // sampleRaw draws an action directly from the DNN output heads, the
 // paper's raw policy sample for the episode's initial action.
-func sampleRaw(net *nn.PolicyValueNet, env *rl.Env, rng *rand.Rand) rl.Action {
-	out := net.Forward(env.State(), false)
+func sampleRaw(net *nn.PolicyValueNet, state []float64, rng *rand.Rand) rl.Action {
+	out := net.Forward(state, false)
 	pick := func(probs []float64) int {
 		r := rng.Float64()
 		acc := 0.0
@@ -520,45 +572,23 @@ func sampleRaw(net *nn.PolicyValueNet, env *rl.Env, rng *rand.Rand) rl.Action {
 }
 
 // samplePriors draws an action proportionally to the prior weights.
-func samplePriors(priors map[rl.Action]float64, rng *rand.Rand) rl.Action {
-	// Deterministic iteration: collect and sort by a stable key.
-	actions := make([]rl.Action, 0, len(priors))
+// actions arrives in LegalActions' canonical lexicographic order, so the
+// draw is deterministic without any collection or sorting step.
+func samplePriors(actions []rl.Action, priors []float64, rng *rand.Rand) rl.Action {
 	total := 0.0
-	for a, p := range priors {
-		actions = append(actions, a)
+	for _, p := range priors {
 		total += p
 	}
-	sortActions(actions)
 	if total <= 0 {
 		return actions[rng.Intn(len(actions))]
 	}
 	r := rng.Float64() * total
 	acc := 0.0
-	for _, a := range actions {
-		acc += priors[a]
+	for i, a := range actions {
+		acc += priors[i]
 		if r < acc {
 			return a
 		}
 	}
 	return actions[len(actions)-1]
-}
-
-// sortActions orders actions lexicographically for deterministic sampling.
-func sortActions(as []rl.Action) {
-	sort.Slice(as, func(i, j int) bool {
-		a, b := as[i], as[j]
-		if a.X1 != b.X1 {
-			return a.X1 < b.X1
-		}
-		if a.Y1 != b.Y1 {
-			return a.Y1 < b.Y1
-		}
-		if a.X2 != b.X2 {
-			return a.X2 < b.X2
-		}
-		if a.Y2 != b.Y2 {
-			return a.Y2 < b.Y2
-		}
-		return a.Dir < b.Dir
-	})
 }

@@ -59,12 +59,42 @@ func TestSearchBeatsRECAt4x4(t *testing.T) {
 	}
 }
 
+// TestSearchDeterministicSingleThread pins full single-thread determinism:
+// two runs with the same seed must agree on every observable output —
+// episode count, per-episode value error, every valid design (discovery
+// episode, loop count, hops, and the exact topology), the best design, and
+// the tree size. This is the regression guard for map-iteration-order
+// nondeterminism in MCTS selection: Tree.Select breaks exact score ties by
+// the lexicographically smallest action, so two identical runs traverse
+// identical paths.
 func TestSearchDeterministicSingleThread(t *testing.T) {
 	a := MustNew(quickCfg(4, 6, 5)).Run()
 	b := MustNew(quickCfg(4, 6, 5)).Run()
-	if len(a.Valid) != len(b.Valid) || a.Best.AvgHops != b.Best.AvgHops {
-		t.Fatalf("nondeterministic: %d/%.3f vs %d/%.3f",
-			len(a.Valid), a.Best.AvgHops, len(b.Valid), b.Best.AvgHops)
+	if a.Episodes != b.Episodes || a.TreeSize != b.TreeSize {
+		t.Fatalf("nondeterministic run shape: %d episodes/%d nodes vs %d/%d",
+			a.Episodes, a.TreeSize, b.Episodes, b.TreeSize)
+	}
+	if len(a.ValueMSE) != len(b.ValueMSE) {
+		t.Fatalf("value-MSE series lengths differ: %d vs %d", len(a.ValueMSE), len(b.ValueMSE))
+	}
+	for i := range a.ValueMSE {
+		if a.ValueMSE[i] != b.ValueMSE[i] {
+			t.Fatalf("episode %d value MSE differs: %v vs %v", i, a.ValueMSE[i], b.ValueMSE[i])
+		}
+	}
+	if len(a.Valid) != len(b.Valid) {
+		t.Fatalf("valid-design counts differ: %d vs %d", len(a.Valid), len(b.Valid))
+	}
+	for i := range a.Valid {
+		da, db := a.Valid[i], b.Valid[i]
+		if da.Episode != db.Episode || da.Loops != db.Loops || da.AvgHops != db.AvgHops ||
+			da.Topo.Fingerprint() != db.Topo.Fingerprint() {
+			t.Fatalf("valid design %d differs: ep %d/%d loops %d/%d hops %v/%v",
+				i, da.Episode, db.Episode, da.Loops, db.Loops, da.AvgHops, db.AvgHops)
+		}
+	}
+	if a.Best.AvgHops != b.Best.AvgHops || a.Best.Topo.Fingerprint() != b.Best.Topo.Fingerprint() {
+		t.Fatalf("best designs differ: %.3f vs %.3f", a.Best.AvgHops, b.Best.AvgHops)
 	}
 }
 

@@ -10,6 +10,7 @@ package mcts
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"routerless/internal/rl"
 )
@@ -44,6 +45,14 @@ type Tree struct {
 
 	mu    sync.Mutex
 	nodes map[string]*Node
+
+	// Aggregate counters maintained alongside the map so telemetry reads
+	// (Size, Stats) never take the tree lock or walk the node map —
+	// learners polling them per episode cannot serialize against each
+	// other's expansions and backups.
+	nodeCount  atomic.Int64
+	edgeCount  atomic.Int64
+	visitCount atomic.Int64
 }
 
 // NewTree builds an empty tree with exploration constant c.
@@ -51,11 +60,9 @@ func NewTree(c float64) *Tree {
 	return &Tree{C: c, nodes: make(map[string]*Node)}
 }
 
-// Size returns the number of stored states.
+// Size returns the number of stored states. Lock-free.
 func (t *Tree) Size() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.nodes)
+	return int(t.nodeCount.Load())
 }
 
 // TreeStats summarizes the tree for telemetry: stored states, total edges,
@@ -66,16 +73,16 @@ type TreeStats struct {
 	Visits int
 }
 
-// Stats returns the current tree statistics in one lock acquisition.
+// Stats returns the current tree statistics. The totals are maintained
+// incrementally by Expand and Backup, so this is a lock-free read rather
+// than a walk of the node map; concurrent mutation may make the three
+// counters reflect slightly different instants.
 func (t *Tree) Stats() TreeStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	s := TreeStats{Nodes: len(t.nodes)}
-	for _, n := range t.nodes {
-		s.Edges += len(n.Edges)
-		s.Visits += n.SumN
+	return TreeStats{
+		Nodes:  int(t.nodeCount.Load()),
+		Edges:  int(t.edgeCount.Load()),
+		Visits: int(t.visitCount.Load()),
 	}
-	return s
 }
 
 // Known reports whether the state has been expanded.
@@ -86,10 +93,14 @@ func (t *Tree) Known(fp string) bool {
 	return ok
 }
 
-// Expand registers a leaf state with its action priors (normalized here).
-// Expanding an existing node refreshes priors for new actions only, so
-// concurrent learners cannot erase each other's statistics.
-func (t *Tree) Expand(fp string, priors map[rl.Action]float64) {
+// Expand registers a leaf state with its actions and matching (unnormalized)
+// prior weights; priors[i] belongs to actions[i] and normalization happens
+// here. Expanding an existing node refreshes priors for new actions only,
+// so concurrent learners cannot erase each other's statistics.
+func (t *Tree) Expand(fp string, actions []rl.Action, priors []float64) {
+	if len(actions) != len(priors) {
+		panic("mcts: actions/priors length mismatch")
+	}
 	sum := 0.0
 	for _, p := range priors {
 		sum += p
@@ -98,25 +109,30 @@ func (t *Tree) Expand(fp string, priors map[rl.Action]float64) {
 	defer t.mu.Unlock()
 	node, ok := t.nodes[fp]
 	if !ok {
-		node = &Node{Edges: make(map[rl.Action]*Edge, len(priors))}
+		node = &Node{Edges: make(map[rl.Action]*Edge, len(actions))}
 		t.nodes[fp] = node
+		t.nodeCount.Add(1)
 	}
-	for a, p := range priors {
+	for i, a := range actions {
 		if _, exists := node.Edges[a]; !exists {
-			np := p
+			np := priors[i]
 			if sum > 0 {
-				np = p / sum
+				np = np / sum
 			} else {
-				np = 1 / float64(len(priors))
+				np = 1 / float64(len(actions))
 			}
 			node.Edges[a] = &Edge{P: np}
+			t.edgeCount.Add(1)
 		}
 	}
 }
 
 // Select applies Eq. 21 at the state: argmax over edges of
 // U(s,a) + V(s_next) with U = C·P(a;s)·√(Σ_j N_j)/(1+N(a;s)).
-// The boolean is false when the state is unknown or has no edges.
+// Exact score ties break toward the lexicographically smallest action, so
+// selection is a pure function of the edge statistics rather than of map
+// iteration order. The boolean is false when the state is unknown or has
+// no edges.
 func (t *Tree) Select(fp string) (rl.Action, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -131,7 +147,7 @@ func (t *Tree) Select(fp string) (rl.Action, bool) {
 	for a, e := range node.Edges {
 		u := t.C * e.P * sqrtSum / (1 + float64(e.N))
 		score := u + e.V()
-		if score > bestScore {
+		if score > bestScore || (score == bestScore && rl.ActionLess(a, best)) {
 			bestScore = score
 			best = a
 			found = true
@@ -165,9 +181,11 @@ func (t *Tree) Backup(path []PathStep, returns []float64) {
 		if !ok {
 			e = &Edge{P: 0}
 			node.Edges[s.Action] = e
+			t.edgeCount.Add(1)
 		}
 		e.N++
 		node.SumN++
+		t.visitCount.Add(1)
 		e.W += returns[i]
 	}
 }

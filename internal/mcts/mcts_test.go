@@ -15,7 +15,7 @@ func act(x1, y1, x2, y2 int, d topo.Direction) rl.Action {
 func TestExpandNormalizesPriors(t *testing.T) {
 	tr := NewTree(1.5)
 	a, b := act(0, 0, 1, 1, topo.Clockwise), act(0, 0, 2, 2, topo.Clockwise)
-	tr.Expand("s", map[rl.Action]float64{a: 3, b: 1})
+	tr.Expand("s", []rl.Action{a, b}, []float64{3, 1})
 	st := tr.EdgeStats("s")
 	if len(st) != 2 {
 		t.Fatalf("edges = %d", len(st))
@@ -28,7 +28,7 @@ func TestExpandNormalizesPriors(t *testing.T) {
 func TestExpandZeroPriorsUniform(t *testing.T) {
 	tr := NewTree(1.5)
 	a, b := act(0, 0, 1, 1, topo.Clockwise), act(0, 0, 2, 2, topo.Clockwise)
-	tr.Expand("s", map[rl.Action]float64{a: 0, b: 0})
+	tr.Expand("s", []rl.Action{a, b}, []float64{0, 0})
 	st := tr.EdgeStats("s")
 	if st[a].P != 0.5 || st[b].P != 0.5 {
 		t.Fatalf("priors = %v / %v", st[a].P, st[b].P)
@@ -38,9 +38,9 @@ func TestExpandZeroPriorsUniform(t *testing.T) {
 func TestExpandDoesNotEraseStats(t *testing.T) {
 	tr := NewTree(1.5)
 	a := act(0, 0, 1, 1, topo.Clockwise)
-	tr.Expand("s", map[rl.Action]float64{a: 1})
+	tr.Expand("s", []rl.Action{a}, []float64{1})
 	tr.Backup([]PathStep{{"s", a}}, []float64{2})
-	tr.Expand("s", map[rl.Action]float64{a: 1}) // re-expansion
+	tr.Expand("s", []rl.Action{a}, []float64{1}) // re-expansion
 	if st := tr.EdgeStats("s")[a]; st.N != 1 || st.W != 2 {
 		t.Fatalf("stats erased: %+v", st)
 	}
@@ -56,7 +56,7 @@ func TestSelectUnknownState(t *testing.T) {
 func TestSelectPrefersPriorWhenUnvisited(t *testing.T) {
 	tr := NewTree(1.5)
 	hi, lo := act(0, 0, 3, 3, topo.Clockwise), act(0, 0, 1, 1, topo.Clockwise)
-	tr.Expand("s", map[rl.Action]float64{hi: 0.9, lo: 0.1})
+	tr.Expand("s", []rl.Action{hi, lo}, []float64{0.9, 0.1})
 	a, ok := tr.Select("s")
 	if !ok || a != hi {
 		t.Fatalf("selected %v, want high-prior action", a)
@@ -66,7 +66,7 @@ func TestSelectPrefersPriorWhenUnvisited(t *testing.T) {
 func TestSelectShiftsToHighReturn(t *testing.T) {
 	tr := NewTree(0.1) // small exploration constant
 	good, bad := act(0, 0, 3, 3, topo.Clockwise), act(0, 0, 1, 1, topo.Clockwise)
-	tr.Expand("s", map[rl.Action]float64{good: 0.1, bad: 0.9})
+	tr.Expand("s", []rl.Action{good, bad}, []float64{0.1, 0.9})
 	// Observed returns favour "good" strongly.
 	for i := 0; i < 10; i++ {
 		tr.Backup([]PathStep{{"s", good}}, []float64{5})
@@ -81,7 +81,7 @@ func TestSelectShiftsToHighReturn(t *testing.T) {
 func TestBackupAccumulates(t *testing.T) {
 	tr := NewTree(1)
 	a := act(0, 0, 1, 1, topo.Clockwise)
-	tr.Expand("s", map[rl.Action]float64{a: 1})
+	tr.Expand("s", []rl.Action{a}, []float64{1})
 	tr.Backup([]PathStep{{"s", a}}, []float64{3})
 	tr.Backup([]PathStep{{"s", a}}, []float64{1})
 	st := tr.EdgeStats("s")[a]
@@ -120,7 +120,7 @@ func TestTreeConcurrentAccess(t *testing.T) {
 		go func(id int) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				tr.Expand("shared", map[rl.Action]float64{a: 1})
+				tr.Expand("shared", []rl.Action{a}, []float64{1})
 				tr.Backup([]PathStep{{"shared", a}}, []float64{1})
 				tr.Select("shared")
 			}
@@ -137,5 +137,53 @@ func TestEdgeVZeroVisits(t *testing.T) {
 	e := &Edge{P: 1}
 	if e.V() != 0 {
 		t.Fatal("unvisited V != 0")
+	}
+}
+
+// TestSelectTieBreaksLexicographic pins deterministic selection: with
+// identical priors and no visits every edge scores the same, and the
+// argmax must resolve to the lexicographically smallest action instead of
+// whatever the map iteration happens to visit last.
+func TestSelectTieBreaksLexicographic(t *testing.T) {
+	want := act(0, 0, 1, 1, topo.Clockwise)
+	actions := []rl.Action{
+		act(2, 2, 3, 3, topo.Clockwise),
+		act(0, 1, 2, 2, topo.Counterclockwise),
+		act(0, 0, 1, 1, topo.Counterclockwise),
+		want,
+		act(1, 0, 2, 1, topo.Clockwise),
+	}
+	priors := []float64{1, 1, 1, 1, 1}
+	// Fresh trees get fresh map layouts; repeated trials would flush out a
+	// map-order-dependent argmax.
+	for trial := 0; trial < 50; trial++ {
+		tr := NewTree(1.5)
+		tr.Expand("s", actions, priors)
+		a, ok := tr.Select("s")
+		if !ok || a != want {
+			t.Fatalf("trial %d: selected %v, want %v", trial, a, want)
+		}
+	}
+}
+
+// TestStatsCounters verifies the incrementally maintained aggregates match
+// what a walk of the tree would report, including edges created by Backup
+// rather than Expand.
+func TestStatsCounters(t *testing.T) {
+	tr := NewTree(1)
+	a := act(0, 0, 1, 1, topo.Clockwise)
+	b := act(0, 0, 2, 2, topo.Clockwise)
+	c := act(1, 1, 2, 2, topo.Clockwise)
+	tr.Expand("s1", []rl.Action{a, b}, []float64{1, 1})
+	tr.Expand("s2", []rl.Action{a}, []float64{1})
+	tr.Expand("s1", []rl.Action{a}, []float64{1}) // re-expansion: no new edge
+	tr.Backup([]PathStep{{"s1", a}, {"s2", a}}, []float64{1, 2})
+	tr.Backup([]PathStep{{"s1", c}}, []float64{3}) // creates an edge
+	if got := tr.Size(); got != 2 {
+		t.Fatalf("Size = %d, want 2", got)
+	}
+	st := tr.Stats()
+	if st.Nodes != 2 || st.Edges != 4 || st.Visits != 3 {
+		t.Fatalf("stats = %+v, want {Nodes:2 Edges:4 Visits:3}", st)
 	}
 }

@@ -25,13 +25,21 @@ type Trajectory struct {
 }
 
 // A2C computes advantage actor-critic gradients (Eqs. 15–18) for a
-// trajectory and accumulates them into net's parameter gradients.
+// trajectory and accumulates them into net's parameter gradients. The
+// struct carries reusable scratch buffers, so one A2C value per worker
+// makes repeated Accumulate calls allocation-free; it is not safe for
+// concurrent use.
 type A2C struct {
 	// Gamma is the discount factor γ.
 	Gamma float64
 	// ValueCoeff scales the value-head loss (the paper's constant c in
 	// Eq. 20).
 	ValueCoeff float64
+
+	// Scratch reused across Accumulate calls: discounted returns-to-go and
+	// the per-head policy-gradient logits.
+	returns []float64
+	dLogits [4][]float64
 }
 
 // DefaultA2C mirrors the paper's formulation with γ close to one.
@@ -41,14 +49,17 @@ func DefaultA2C() A2C { return A2C{Gamma: 0.99, ValueCoeff: 0.5} }
 // summed into net's parameter gradient buffers; callers then apply them
 // locally (SGD.Step) or ship them to the parameter server (§4.6).
 // It returns the mean squared value error, a training-progress signal.
-func (a A2C) Accumulate(net *nn.PolicyValueNet, traj Trajectory) float64 {
+func (a *A2C) Accumulate(net *nn.PolicyValueNet, traj Trajectory) float64 {
 	n := len(traj.Steps)
 	if n == 0 {
 		return 0
 	}
 	// Discounted returns-to-go, seeding with the final return after the
 	// last step: G_t = r_t + γ G_{t+1}, G_n = Final.
-	returns := make([]float64, n)
+	if cap(a.returns) < n {
+		a.returns = make([]float64, n)
+	}
+	returns := a.returns[:n]
 	g := traj.Final
 	for t := n - 1; t >= 0; t-- {
 		g = traj.Steps[t].Reward + a.Gamma*g
@@ -62,16 +73,19 @@ func (a A2C) Accumulate(net *nn.PolicyValueNet, traj Trajectory) float64 {
 
 		// Policy gradient for the coordinate heads: for loss
 		// -A log π(a), d/dlogit_i = A (p_i - 1{i==a_g}).
-		var dLogits [4][]float64
 		chosen := [4]int{s.Action.X1, s.Action.Y1, s.Action.X2, s.Action.Y2}
 		for gi := 0; gi < 4; gi++ {
-			dl := make([]float64, len(out.CoordProbs[gi]))
+			if cap(a.dLogits[gi]) < len(out.CoordProbs[gi]) {
+				a.dLogits[gi] = make([]float64, len(out.CoordProbs[gi]))
+			}
+			dl := a.dLogits[gi][:len(out.CoordProbs[gi])]
 			for i, p := range out.CoordProbs[gi] {
 				dl[i] = adv * p
 			}
 			dl[chosen[gi]] -= adv
-			dLogits[gi] = dl
+			a.dLogits[gi] = dl
 		}
+		dLogits := a.dLogits
 		// Direction head: the tanh output maps to P(clockwise) =
 		// (1+Dir)/2. For loss -A log P(chosen):
 		//   clockwise:        d/dz = -A (1 - Dir)

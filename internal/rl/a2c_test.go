@@ -29,7 +29,8 @@ func TestA2CAccumulatesGradients(t *testing.T) {
 	traj := smallTraj(e)
 	net := nn.NewPolicyValueNet(nn.TestConfig(4), 3)
 	net.ZeroGrads()
-	mse := DefaultA2C().Accumulate(net, traj)
+	a2c := DefaultA2C()
+	mse := a2c.Accumulate(net, traj)
 	if mse <= 0 {
 		t.Fatalf("mse = %v, want > 0 for an untrained net", mse)
 	}
@@ -46,7 +47,8 @@ func TestA2CAccumulatesGradients(t *testing.T) {
 
 func TestA2CEmptyTrajectory(t *testing.T) {
 	net := nn.NewPolicyValueNet(nn.TestConfig(4), 3)
-	if got := DefaultA2C().Accumulate(net, Trajectory{}); got != 0 {
+	a2c := DefaultA2C()
+	if got := a2c.Accumulate(net, Trajectory{}); got != 0 {
 		t.Fatalf("empty trajectory mse = %v", got)
 	}
 }

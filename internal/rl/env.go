@@ -37,6 +37,26 @@ func (a Action) String() string {
 	return fmt.Sprintf("(%d,%d,%d,%d,%s)", a.X1, a.Y1, a.X2, a.Y2, a.Dir)
 }
 
+// ActionLess is the canonical lexicographic order on actions — coordinates
+// first, then direction (clockwise before counterclockwise). LegalActions
+// enumerates in exactly this order, and deterministic consumers (MCTS
+// tie-breaking, prior sampling) rely on it.
+func ActionLess(a, b Action) bool {
+	if a.X1 != b.X1 {
+		return a.X1 < b.X1
+	}
+	if a.Y1 != b.Y1 {
+		return a.Y1 < b.Y1
+	}
+	if a.X2 != b.X2 {
+		return a.X2 < b.X2
+	}
+	if a.Y2 != b.Y2 {
+		return a.Y2 < b.Y2
+	}
+	return a.Dir < b.Dir
+}
+
 // ActionKind classifies the outcome of Env.Step per §4.3.
 type ActionKind int
 
@@ -78,6 +98,12 @@ type Env struct {
 
 	topo     *topo.Topology
 	meshHops float64
+	// scores is the lazily built per-rectangle greedy score cache (see
+	// scores.go); Step keeps it consistent through the dirty set.
+	scores *scoreTable
+	// legalBuf backs LegalActions so steady-state enumeration is
+	// allocation-free.
+	legalBuf []Action
 }
 
 // NewEnv creates a blank N×N design environment under the given node
@@ -102,29 +128,47 @@ func NewEnvFrom(t *topo.Topology, overlapCap int) *Env {
 	e := NewEnv(t.Rows(), overlapCap)
 	e.topo = t.Clone()
 	e.topo.SetOverlapCap(overlapCap)
+	e.scores = nil
 	return e
 }
 
-// Reset clears the design back to a fully disconnected NoC.
+// Reset clears the design back to a fully disconnected NoC. The topology
+// and score-cache buffers are reused, so a recycled environment runs its
+// next episode without fresh heap allocation.
 func (e *Env) Reset() {
-	e.topo = topo.NewSquare(e.N, e.OverlapCap)
+	if e.topo == nil {
+		e.topo = topo.NewSquare(e.N, e.OverlapCap)
+	} else {
+		e.topo.Reset()
+		e.topo.SetOverlapCap(e.OverlapCap)
+	}
+	if e.scores != nil {
+		e.scores.markAllDirty()
+	}
 }
 
 // Topology exposes the design under construction (callers must not
 // mutate it directly).
 func (e *Env) Topology() *topo.Topology { return e.topo }
 
-// Clone deep-copies the environment.
+// Clone deep-copies the environment. The greedy score cache is not
+// carried over; the clone rebuilds it lazily on first search.
 func (e *Env) Clone() *Env {
 	return &Env{
 		N: e.N, OverlapCap: e.OverlapCap,
 		IllegalPenalty: e.IllegalPenalty,
+		MaxLoopLen:     e.MaxLoopLen,
 		topo:           e.topo.Clone(), meshHops: e.meshHops,
 	}
 }
 
 // State returns the hop-count matrix encoding (§4.2).
 func (e *Env) State() []float64 { return e.topo.HopMatrix() }
+
+// StateInto writes the hop-count matrix encoding into dst, reallocating
+// only when dst lacks capacity, and returns the destination slice. Reusing
+// one buffer per decision point keeps the episode hot path allocation-free.
+func (e *Env) StateInto(dst []float64) []float64 { return e.topo.HopMatrixInto(dst) }
 
 // Fingerprint keys the current design for MCTS node lookup.
 func (e *Env) Fingerprint() string { return e.topo.Fingerprint() }
@@ -156,6 +200,9 @@ func (e *Env) Step(a Action) (reward float64, kind ActionKind) {
 	}
 	switch err := e.topo.AddLoop(l); err {
 	case nil:
+		if e.scores != nil {
+			e.scores.noteAdded(e.topo, l)
+		}
 		return 0, Valid
 	case topo.ErrRepetitive:
 		return -1, Repetitive
@@ -168,23 +215,28 @@ func (e *Env) Step(a Action) (reward float64, kind ActionKind) {
 
 // LegalActions enumerates every loop addition currently allowed. Both
 // directions of each placeable rectangle are included; rectangles already
-// present in one direction remain legal in the other.
+// present in one direction remain legal in the other. The enumeration
+// reads the cached per-rectangle legality, and the returned slice is an
+// internal buffer reused (and overwritten) by the next call — copy it to
+// retain across steps.
 func (e *Env) LegalActions() []Action {
-	var out []Action
-	for x1 := 0; x1 < e.N-1; x1++ {
-		for y1 := 0; y1 < e.N-1; y1++ {
-			for x2 := x1 + 1; x2 < e.N; x2++ {
-				for y2 := y1 + 1; y2 < e.N; y2++ {
-					for _, dir := range []topo.Direction{topo.Clockwise, topo.Counterclockwise} {
-						l := topo.MustLoop(x1, y1, x2, y2, dir)
-						if e.allowed(l) && e.topo.CheckAdd(l) == nil {
-							out = append(out, Action{x1, y1, x2, y2, dir})
-						}
-					}
-				}
-			}
+	s := e.scoresSynced()
+	rects := s.tab.Rects()
+	out := e.legalBuf[:0]
+	for ri := range s.sc {
+		sc := &s.sc[ri]
+		if !sc.cwOK && !sc.ccwOK {
+			continue
+		}
+		r := &rects[ri]
+		if sc.cwOK {
+			out = append(out, Action{r.R1, r.C1, r.R2, r.C2, topo.Clockwise})
+		}
+		if sc.ccwOK {
+			out = append(out, Action{r.R1, r.C1, r.R2, r.C2, topo.Counterclockwise})
 		}
 	}
+	e.legalBuf = out
 	return out
 }
 
@@ -192,18 +244,10 @@ func (e *Env) LegalActions() []Action {
 // episode-termination predicate: "loops are added until no more can be
 // added without violating constraints".
 func (e *Env) HasLegalAction() bool {
-	for x1 := 0; x1 < e.N-1; x1++ {
-		for y1 := 0; y1 < e.N-1; y1++ {
-			for x2 := x1 + 1; x2 < e.N; x2++ {
-				for y2 := y1 + 1; y2 < e.N; y2++ {
-					for _, dir := range []topo.Direction{topo.Clockwise, topo.Counterclockwise} {
-						l := topo.MustLoop(x1, y1, x2, y2, dir)
-						if e.allowed(l) && e.topo.CheckAdd(l) == nil {
-							return true
-						}
-					}
-				}
-			}
+	s := e.scoresSynced()
+	for ri := range s.sc {
+		if s.sc[ri].cwOK || s.sc[ri].ccwOK {
+			return true
 		}
 	}
 	return false

@@ -28,7 +28,55 @@ func Greedy(e *Env) (Action, bool) {
 // GreedySearch is Greedy with the winning loop's metrics exposed, letting
 // callers trim exploration branches whose best remaining addition is
 // useless (§3.2, "Guided Design Space Search").
+//
+// It runs over the environment's cached per-rectangle score table: a step
+// perturbs only the rectangles whose legality, pair count, or memoized
+// hop-improvement actually depend on what changed (see scoreTable), and
+// the argmax walks the cached rows in brute-force enumeration order,
+// filling in missing improvement values only for rectangles whose count
+// ties or beats the running best — the same rectangles whose Imprv the
+// brute scan evaluates. The selection is byte-identical to
+// bruteGreedySearch, which the property tests enforce.
 func GreedySearch(e *Env) GreedyResult {
+	s := e.scoresSynced()
+	rects := s.tab.Rects()
+	bestRect := -1
+	bestCount := -1
+	bestImprv := 0.0
+	for ri := range s.sc {
+		sc := &s.sc[ri]
+		if !sc.cwOK && !sc.ccwOK {
+			continue
+		}
+		count := int(sc.count)
+		if count < bestCount {
+			continue
+		}
+		if !sc.impOK {
+			s.ensureImprv(e, int32(ri))
+		}
+		if count > bestCount || sc.imprv > bestImprv {
+			bestCount = count
+			bestImprv = sc.imprv
+			bestRect = ri
+		}
+	}
+	if bestRect < 0 {
+		return GreedyResult{NewPairs: -1}
+	}
+	r := &rects[bestRect]
+	return GreedyResult{
+		Action:   Action{r.R1, r.C1, r.R2, r.C2, s.sc[bestRect].dir},
+		NewPairs: bestCount,
+		Gain:     bestImprv,
+		OK:       true,
+	}
+}
+
+// bruteGreedySearch is the original full O(N⁴) rescan, kept as the parity
+// oracle for the incremental GreedySearch: the property tests assert both
+// return identical results on arbitrary partial designs.
+func bruteGreedySearch(e *Env) GreedyResult {
 	bestLoop := Action{}
 	bestCount := -1
 	bestImprv := 0.0

@@ -1,0 +1,280 @@
+package rl
+
+import (
+	"routerless/internal/topo"
+)
+
+// scoreTable caches one Algorithm 1 evaluation per grid rectangle: the
+// legality of each direction, CheckCount, and the best Imprv with its
+// direction. A full greedy scan then reduces to an argmax over the cached
+// rows.
+//
+// The cache stays valid through the add's exact perturbation: a
+// rectangle's score reads only the dist entries between its own perimeter
+// nodes, its nodes' overlap counts relative to the cap, and its own
+// membership in the loop set. After AddLoop, therefore:
+//
+//   - count is adjusted in place: a dist entry going from unconnected to
+//     connected decrements CheckCount of exactly the rectangles containing
+//     both endpoints (found through the precomputed pair→rectangles
+//     index). Integer and order-independent, so the maintained value is
+//     exactly what a recount would produce.
+//   - imprv is invalidated (impOK cleared) for rectangles containing both
+//     endpoints of any improved dist entry, and recomputed lazily — only
+//     when the argmax reaches a rectangle whose count ties or beats the
+//     running best, mirroring the brute scan's own skip of Imprv for
+//     uncompetitive rectangles.
+//   - legality is re-checked only for rectangles through a node whose
+//     overlap just reached the cap (overlap only grows, so legality flips
+//     nowhere else) and for the added rectangle itself, whose duplicate
+//     status flipped.
+//
+// This makes the per-step cost proportional to the perturbed region
+// instead of the whole O(N⁴) design space. On grids too large for the
+// pair index the marking falls back to fully re-scoring every rectangle
+// sharing a node with the added loop — a strict superset, still sound.
+//
+// Re-scoring runs the same arithmetic in the same order as the brute-force
+// scan, so cached results are bit-identical to bruteGreedySearch — the
+// parity the property tests pin.
+type scoreTable struct {
+	tab      *topo.GridTables
+	sc       []rectScore
+	dirty    []int32
+	inDirty  []bool
+	allDirty bool
+	// Constraint snapshot the scores were computed under; sync invalidates
+	// everything when a caller moves either knob between scans.
+	maxLoopLen int
+	overlapCap int
+}
+
+// rectScore is one cached evaluation. cwOK/ccwOK record per-direction
+// legality (length constraint, duplication, overlap cap); count is
+// CheckCount, maintained incrementally; imprv/dir memoize the winning
+// Imprv, valid only while impOK is set.
+type rectScore struct {
+	imprv float64
+	count int32
+	dir   topo.Direction
+	cwOK  bool
+	ccwOK bool
+	impOK bool
+}
+
+// scores returns the environment's score table, fully synchronized with
+// the current topology; it is built (all-dirty) on first use.
+func (e *Env) scoresSynced() *scoreTable {
+	s := e.scores
+	if s == nil {
+		tab := e.topo.Tables()
+		s = &scoreTable{
+			tab:        tab,
+			sc:         make([]rectScore, tab.NumRects()),
+			inDirty:    make([]bool, tab.NumRects()),
+			allDirty:   true,
+			maxLoopLen: e.MaxLoopLen,
+			overlapCap: e.topo.OverlapCap(),
+		}
+		e.scores = s
+	}
+	if s.maxLoopLen != e.MaxLoopLen || s.overlapCap != e.topo.OverlapCap() {
+		s.maxLoopLen = e.MaxLoopLen
+		s.overlapCap = e.topo.OverlapCap()
+		s.allDirty = true
+	}
+	s.sync(e)
+	return s
+}
+
+// sync re-establishes every eager invariant (legality and count); imprv
+// stays lazy behind impOK.
+func (s *scoreTable) sync(e *Env) {
+	if s.allDirty {
+		for ri := range s.sc {
+			s.rescore(e, int32(ri))
+		}
+		for i := range s.inDirty {
+			s.inDirty[i] = false
+		}
+		s.dirty = s.dirty[:0]
+		s.allDirty = false
+		return
+	}
+	legalityOnly := s.tab.HasPairIndex()
+	for _, ri := range s.dirty {
+		if legalityOnly {
+			s.rescoreLegality(e, ri)
+		} else {
+			s.rescore(e, ri)
+		}
+		s.inDirty[ri] = false
+	}
+	s.dirty = s.dirty[:0]
+}
+
+// noteAdded applies the new loop's exact perturbation to the cache,
+// reading the changed dist entries and saturated nodes off the topology
+// (see the type comment for why this set is complete).
+func (s *scoreTable) noteAdded(t *topo.Topology, l topo.Loop) {
+	if s.allDirty {
+		return
+	}
+	if !s.tab.HasPairIndex() {
+		// Coarse superset fallback for grids without the pair index:
+		// fully re-score everything sharing a node with the loop.
+		for _, id := range s.tab.NodesOf(l) {
+			for _, ri := range s.tab.RectsAt(int(id)) {
+				s.mark(ri)
+			}
+		}
+		return
+	}
+	for _, pk := range t.LastAddChangedPairs() {
+		for _, ri := range s.tab.RectsAtPair(pk) {
+			s.sc[ri].impOK = false
+		}
+	}
+	for _, pk := range t.LastAddNewPairs() {
+		for _, ri := range s.tab.RectsAtPair(pk) {
+			s.sc[ri].count--
+		}
+	}
+	for _, id := range t.LastAddSaturatedNodes() {
+		for _, ri := range s.tab.RectsAt(int(id)) {
+			s.mark(ri)
+		}
+	}
+	if ri := s.tab.RectIndex(l); ri >= 0 {
+		s.mark(int32(ri))
+	}
+}
+
+func (s *scoreTable) mark(ri int32) {
+	if !s.inDirty[ri] {
+		s.inDirty[ri] = true
+		s.dirty = append(s.dirty, ri)
+	}
+}
+
+// markAllDirty invalidates the whole table (topology reset or replaced).
+func (s *scoreTable) markAllDirty() {
+	s.allDirty = true
+	for i := range s.inDirty {
+		s.inDirty[i] = false
+	}
+	s.dirty = s.dirty[:0]
+}
+
+// rescore recomputes one rectangle's legality and count from scratch and
+// invalidates its memoized imprv. Together with ensureImprv this mirrors
+// the brute-force scan's per-rectangle logic (and arithmetic order)
+// exactly.
+func (s *scoreTable) rescore(e *Env, ri int32) {
+	r := &s.tab.Rects()[ri]
+	sc := &s.sc[ri]
+	*sc = rectScore{}
+	cw := r.Loop(topo.Clockwise)
+	if !e.allowed(cw) {
+		return
+	}
+	cwOK := e.topo.CheckAdd(cw) == nil
+	ccwOK := e.topo.CheckAdd(r.Loop(topo.Counterclockwise)) == nil
+	if !cwOK && !ccwOK {
+		return
+	}
+	sc.cwOK, sc.ccwOK = cwOK, ccwOK
+	ids := r.Nodes
+	n := e.topo.N()
+	dist := e.topo.DistData()
+	count := 0
+	for i, u := range ids {
+		row := int(u) * n
+		for j, v := range ids {
+			if i == j {
+				continue
+			}
+			if dist[row+int(v)] < 0 {
+				count++
+			}
+		}
+	}
+	sc.count = int32(count)
+}
+
+// rescoreLegality refreshes only the legality flags; the maintained count
+// stays valid, and the memoized imprv survives unless a flag flipped —
+// imprv's stored value depends on which directions were evaluated, so a
+// flip forces a lazy recompute. Used on the precise-dirty path, where a
+// rectangle lands in the dirty set only because a node saturated or its
+// duplicate status flipped.
+func (s *scoreTable) rescoreLegality(e *Env, ri int32) {
+	r := &s.tab.Rects()[ri]
+	sc := &s.sc[ri]
+	cw := r.Loop(topo.Clockwise)
+	cwOK, ccwOK := false, false
+	if e.allowed(cw) {
+		cwOK = e.topo.CheckAdd(cw) == nil
+		ccwOK = e.topo.CheckAdd(r.Loop(topo.Counterclockwise)) == nil
+	}
+	if cwOK != sc.cwOK || ccwOK != sc.ccwOK {
+		sc.impOK = false
+	}
+	sc.cwOK, sc.ccwOK = cwOK, ccwOK
+}
+
+// ensureImprv fills in the rectangle's memoized Imprv on demand. One fused
+// pass over the perimeter pairs computes both directions' sums: hop
+// distances along the candidate loop come from index gaps in the
+// precomputed clockwise ID list (the counterclockwise gap is the
+// complement); current distances come from the raw incremental cache. Each
+// accumulator sees the same pair order and summation order as the
+// brute-force scan, keeping results bit-identical.
+func (s *scoreTable) ensureImprv(e *Env, ri int32) {
+	sc := &s.sc[ri]
+	if sc.impOK {
+		return
+	}
+	ids := s.tab.Rects()[ri].Nodes
+	ll := len(ids)
+	n := e.topo.N()
+	dist := e.topo.DistData()
+	sentinel := topo.UnconnectedHops(e.topo.Rows(), e.topo.Cols())
+	icw, iccw := 0.0, 0.0
+	for i, u := range ids {
+		row := int(u) * n
+		for j, v := range ids {
+			if i == j {
+				continue
+			}
+			cd := int(dist[row+int(v)])
+			cur := float64(cd)
+			if cd < 0 {
+				cur = sentinel
+			}
+			d := j - i
+			if d < 0 {
+				d += ll
+			}
+			if nd := float64(d); nd < cur {
+				icw += cur - nd
+			}
+			if nd := float64(ll - d); nd < cur {
+				iccw += cur - nd
+			}
+		}
+	}
+	switch {
+	case sc.cwOK && sc.ccwOK:
+		if iccw > icw {
+			sc.imprv, sc.dir = iccw, topo.Counterclockwise
+		} else {
+			sc.imprv, sc.dir = icw, topo.Clockwise
+		}
+	case sc.cwOK:
+		sc.imprv, sc.dir = icw, topo.Clockwise
+	default:
+		sc.imprv, sc.dir = iccw, topo.Counterclockwise
+	}
+	sc.impOK = true
+}

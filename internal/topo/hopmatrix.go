@@ -19,28 +19,54 @@ func UnconnectedHops(rows, cols int) float64 {
 // matrix fed to the DNN. Unconnected pairs encode as UnconnectedHops; a
 // node's distance to itself is 0.
 //
-// The returned slice is row-major with height R² and width C².
-func (t *Topology) HopMatrix() []float64 {
-	r, c := t.rows, t.cols
-	h, w := r*r, c*c
-	def := UnconnectedHops(r, c)
-	m := make([]float64, h*w)
-	for s := 0; s < t.N(); s++ {
-		src := NodeFromID(s, c)
-		for d := 0; d < t.N(); d++ {
-			dst := NodeFromID(d, c)
-			hops := t.Dist(src, dst)
-			v := def
-			if hops >= 0 {
-				v = float64(hops)
-			}
-			row := src.Row*r + dst.Row
-			col := src.Col*c + dst.Col
-			m[row*w+col] = v
-		}
+// The returned slice is row-major with height R² and width C². The matrix
+// is materialized once and maintained incrementally by AddLoop, so each
+// call costs one allocation plus a flat copy; use HopMatrixInto to skip
+// the allocation too.
+func (t *Topology) HopMatrix() []float64 { return t.HopMatrixInto(nil) }
+
+// HopMatrixInto writes the state matrix into dst, reallocating only when
+// dst lacks capacity, and returns the (resliced) destination. On a
+// topology whose matrix is already materialized this performs a single
+// copy and no allocation.
+func (t *Topology) HopMatrixInto(dst []float64) []float64 {
+	if t.hopM == nil {
+		t.hopM = make([]float64, t.rows*t.rows*t.cols*t.cols)
+		t.fillHopM()
 	}
-	return m
+	if cap(dst) < len(t.hopM) {
+		dst = make([]float64, len(t.hopM))
+	}
+	dst = dst[:len(t.hopM)]
+	copy(dst, t.hopM)
+	return dst
 }
 
 // HopMatrixDims returns the (height, width) of HopMatrix: (Rows², Cols²).
 func (t *Topology) HopMatrixDims() (int, int) { return t.rows * t.rows, t.cols * t.cols }
+
+// fillHopM rebuilds the materialized state matrix from the distance cache.
+func (t *Topology) fillHopM() {
+	def := UnconnectedHops(t.rows, t.cols)
+	for i := range t.hopM {
+		t.hopM[i] = def
+	}
+	n := t.N()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if h := t.dist[s*n+d]; h >= 0 {
+				t.setHopM(s, d, float64(h))
+			}
+		}
+	}
+}
+
+// setHopM writes one (src, dst) entry of the materialized state matrix.
+// The tiling maps source (sr,sc) and destination (dr,dc) to matrix cell
+// (sr*R + dr, sc*C + dc).
+func (t *Topology) setHopM(src, dst int, v float64) {
+	c := t.cols
+	row := (src/c)*t.rows + dst/c
+	col := (src%c)*c + dst%c
+	t.hopM[row*(c*c)+col] = v
+}

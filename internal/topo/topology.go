@@ -3,7 +3,7 @@ package topo
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"strconv"
 )
 
 // ErrIllegal is returned when adding a loop would violate the node
@@ -20,10 +20,18 @@ var ErrOutOfBounds = errors.New("topo: loop out of grid bounds")
 // Topology is a routerless NoC: an N×M node grid plus a set of
 // unidirectional rectangular loops. The zero value is unusable; construct
 // with New.
+//
+// Every aggregate a search loop polls — pairwise distances, connected-pair
+// count, hop total, the DNN state matrix, the canonical fingerprint — is
+// maintained incrementally by AddLoop, so the per-query cost is O(1) (or a
+// flat copy) instead of an O(N²) rescan.
 type Topology struct {
 	rows, cols int
 	overlapCap int // 0 means unconstrained
+	tab        *GridTables
 	loops      []Loop
+	// loopSet mirrors loops for O(1) duplicate checks.
+	loopSet map[Loop]struct{}
 	// overlap[nodeID] = number of loops whose perimeter includes the node.
 	overlap []int
 	// byNode[nodeID] = indices into loops of loops passing through the node.
@@ -33,6 +41,29 @@ type Topology struct {
 	// -1 means unconnected. It makes Dist O(1), which the greedy search
 	// of Algorithm 1 and the simulator's routing tables rely on.
 	dist []int16
+	// connPairs counts ordered pairs of distinct nodes with dist >= 0, and
+	// hopTotal sums their distances; together they answer AverageHops,
+	// ConnectedCount and FullyConnected without scanning dist.
+	connPairs int
+	hopTotal  int
+	// hopM is the paper's state-matrix encoding (HopMatrix), materialized
+	// on first request and updated in place as dist entries improve.
+	hopM []float64
+	// fpLoops holds the loop multiset in canonical order; fpStr caches the
+	// rendered fingerprint, rebuilt lazily into fpBuf when fpDirty.
+	fpLoops []Loop
+	fpBuf   []byte
+	fpStr   string
+	fpDirty bool
+	// changedPairs, newPairs and satNodes record the most recent AddLoop's
+	// exact perturbation: packed src*N+dst keys of dist entries that
+	// improved, the subset of those that went from unconnected to
+	// connected, and nodes whose overlap reached the cap during that add.
+	// Incremental consumers (the greedy score cache) invalidate only what
+	// these name. All are reused buffers, valid until the next mutation.
+	changedPairs []int32
+	newPairs     []int32
+	satNodes     []int32
 }
 
 // New returns an empty topology on a rows×cols grid. overlapCap limits the
@@ -47,6 +78,8 @@ func New(rows, cols, overlapCap int) *Topology {
 		rows:       rows,
 		cols:       cols,
 		overlapCap: overlapCap,
+		tab:        Tables(rows, cols),
+		loopSet:    make(map[Loop]struct{}),
 		overlap:    make([]int, n),
 		byNode:     make([][]int, n),
 		dist:       make([]int16, n*n),
@@ -79,6 +112,9 @@ func (t *Topology) OverlapCap() int { return t.overlapCap }
 // not retroactively validate existing loops.
 func (t *Topology) SetOverlapCap(cap int) { t.overlapCap = cap }
 
+// Tables returns the shared precomputed rectangle tables for this grid.
+func (t *Topology) Tables() *GridTables { return t.tab }
+
 // Loops returns the loop set. The returned slice must not be mutated.
 func (t *Topology) Loops() []Loop { return t.loops }
 
@@ -87,6 +123,9 @@ func (t *Topology) NumLoops() int { return len(t.loops) }
 
 // Overlap returns the number of loops passing through node n.
 func (t *Topology) Overlap(n Node) int { return t.overlap[n.ID(t.cols)] }
+
+// OverlapID is Overlap for a linear node ID.
+func (t *Topology) OverlapID(id int) int { return t.overlap[id] }
 
 // MaxOverlap returns the maximum node overlapping across the grid.
 func (t *Topology) MaxOverlap() int {
@@ -102,14 +141,11 @@ func (t *Topology) MaxOverlap() int {
 // LoopsAt returns indices (into Loops()) of loops through node n.
 func (t *Topology) LoopsAt(n Node) []int { return t.byNode[n.ID(t.cols)] }
 
-// HasLoop reports whether an identical loop is already present.
+// HasLoop reports whether an identical loop is already present. It is an
+// O(1) set lookup.
 func (t *Topology) HasLoop(l Loop) bool {
-	for _, e := range t.loops {
-		if e.Equal(l) {
-			return true
-		}
-	}
-	return false
+	_, ok := t.loopSet[l]
+	return ok
 }
 
 // fits reports whether the loop lies within the grid.
@@ -128,8 +164,8 @@ func (t *Topology) CheckAdd(l Loop) error {
 		return ErrRepetitive
 	}
 	if t.overlapCap > 0 {
-		for _, n := range l.Nodes() {
-			if t.overlap[n.ID(t.cols)]+1 > t.overlapCap {
+		for _, id := range t.tab.NodesOf(l) {
+			if t.overlap[id]+1 > t.overlapCap {
 				return ErrIllegal
 			}
 		}
@@ -146,38 +182,92 @@ func (t *Topology) AddLoop(l Loop) error {
 	return nil
 }
 
-// addUnchecked appends l and updates the per-node indices and the
-// pairwise-distance cache.
+// addUnchecked appends l and updates every incremental structure: per-node
+// indices, the pairwise-distance cache with its connected-pair count and
+// hop total, the materialized state matrix (when present), and the
+// canonical fingerprint order.
 func (t *Topology) addUnchecked(l Loop) {
 	idx := len(t.loops)
 	t.loops = append(t.loops, l)
-	nodes := l.Nodes()
-	for _, n := range nodes {
-		id := n.ID(t.cols)
+	t.loopSet[l] = struct{}{}
+	t.changedPairs = t.changedPairs[:0]
+	t.newPairs = t.newPairs[:0]
+	t.satNodes = t.satNodes[:0]
+	ids := t.tab.NodesOf(l)
+	for _, id := range ids {
 		t.overlap[id]++
+		if t.overlap[id] == t.overlapCap {
+			t.satNodes = append(t.satNodes, id)
+		}
 		t.byNode[id] = append(t.byNode[id], idx)
 	}
 	n := t.N()
-	ll := len(nodes)
-	for i, u := range nodes {
-		uid := u.ID(t.cols)
-		for j, v := range nodes {
+	ll := len(ids)
+	ccw := l.Dir == Counterclockwise
+	for i, u := range ids {
+		row := int(u) * n
+		for j, v := range ids {
 			if i == j {
 				continue
 			}
-			// nodes is already in traversal order for the loop's
-			// direction, so the index gap is the directed distance.
+			// ids is the clockwise traversal; the index gap is the
+			// directed distance, complemented for counterclockwise loops.
 			d := j - i
 			if d < 0 {
 				d += ll
 			}
-			vid := v.ID(t.cols)
-			cur := t.dist[uid*n+vid]
-			if cur < 0 || int16(d) < cur {
-				t.dist[uid*n+vid] = int16(d)
+			if ccw {
+				d = ll - d
+			}
+			cur := t.dist[row+int(v)]
+			if cur >= 0 && int16(d) >= cur {
+				continue
+			}
+			if cur < 0 {
+				t.connPairs++
+				t.hopTotal += d
+				t.newPairs = append(t.newPairs, int32(row)+v)
+			} else {
+				t.hopTotal += d - int(cur)
+			}
+			t.dist[row+int(v)] = int16(d)
+			t.changedPairs = append(t.changedPairs, int32(row)+v)
+			if t.hopM != nil {
+				t.setHopM(int(u), int(v), float64(d))
 			}
 		}
 	}
+	t.fpInsert(l)
+}
+
+// Reset removes every loop in place, retaining all allocated capacity so a
+// reused Topology accepts a fresh loop sequence without heap allocation.
+func (t *Topology) Reset() {
+	t.loops = t.loops[:0]
+	clear(t.loopSet)
+	for i := range t.overlap {
+		t.overlap[i] = 0
+	}
+	for i := range t.byNode {
+		t.byNode[i] = t.byNode[i][:0]
+	}
+	n := t.N()
+	for i := range t.dist {
+		t.dist[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		t.dist[i*n+i] = 0
+	}
+	t.connPairs, t.hopTotal = 0, 0
+	if t.hopM != nil {
+		t.fillHopM()
+	}
+	t.fpLoops = t.fpLoops[:0]
+	t.fpStr = ""
+	t.fpDirty = false
+	t.changedPairs = t.changedPairs[:0]
+	t.newPairs = t.newPairs[:0]
+	t.satNodes = t.satNodes[:0]
 }
 
 // RemoveLoop removes the loop at index i. It is used by evolutionary
@@ -191,32 +281,31 @@ func (t *Topology) RemoveLoop(i int) {
 }
 
 func (t *Topology) reindex() {
-	for i := range t.overlap {
-		t.overlap[i] = 0
-		t.byNode[i] = nil
-	}
-	for i := range t.dist {
-		t.dist[i] = -1
-	}
-	for i := 0; i < t.N(); i++ {
-		t.dist[i*t.N()+i] = 0
-	}
-	loops := t.loops
-	t.loops = nil
+	loops := append([]Loop(nil), t.loops...)
+	t.Reset()
 	for _, l := range loops {
 		t.addUnchecked(l)
 	}
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The immutable grid tables are shared.
 func (t *Topology) Clone() *Topology {
 	c := New(t.rows, t.cols, t.overlapCap)
 	c.loops = append([]Loop(nil), t.loops...)
+	for l := range t.loopSet {
+		c.loopSet[l] = struct{}{}
+	}
 	copy(c.overlap, t.overlap)
 	copy(c.dist, t.dist)
 	for i, bs := range t.byNode {
 		c.byNode[i] = append([]int(nil), bs...)
 	}
+	c.connPairs, c.hopTotal = t.connPairs, t.hopTotal
+	if t.hopM != nil {
+		c.hopM = append([]float64(nil), t.hopM...)
+	}
+	c.fpLoops = append([]Loop(nil), t.fpLoops...)
+	c.fpStr, c.fpDirty = t.fpStr, t.fpDirty
 	return c
 }
 
@@ -226,6 +315,33 @@ func (t *Topology) Clone() *Topology {
 func (t *Topology) Dist(src, dst Node) int {
 	return int(t.dist[src.ID(t.cols)*t.N()+dst.ID(t.cols)])
 }
+
+// DistID is Dist for linear node IDs.
+func (t *Topology) DistID(src, dst int) int {
+	return int(t.dist[src*t.N()+dst])
+}
+
+// DistData exposes the raw pairwise-distance cache, row-major [src*N+dst]
+// with -1 meaning unconnected, for read-only hot-loop access. Callers must
+// not mutate it.
+func (t *Topology) DistData() []int16 { return t.dist }
+
+// LastAddChangedPairs returns the packed src*N+dst keys of the dist
+// entries improved by the most recent AddLoop. The slice is a reused
+// buffer, valid only until the next mutation, and must not be mutated.
+func (t *Topology) LastAddChangedPairs() []int32 { return t.changedPairs }
+
+// LastAddNewPairs returns the subset of LastAddChangedPairs whose dist
+// entry went from unconnected (-1) to connected — the pairs that lower
+// CheckCount for every rectangle containing both endpoints. Same reuse
+// caveats as LastAddChangedPairs.
+func (t *Topology) LastAddNewPairs() []int32 { return t.newPairs }
+
+// LastAddSaturatedNodes returns the nodes whose overlap count reached the
+// cap during the most recent AddLoop — the only nodes through which
+// rectangle legality can have flipped. Same reuse caveats as
+// LastAddChangedPairs.
+func (t *Topology) LastAddSaturatedNodes() []int32 { return t.satNodes }
 
 // BestLoop returns the index of the loop giving the minimum src→dst
 // distance, and that distance. It returns (-1, -1) when unconnected.
@@ -242,9 +358,10 @@ func (t *Topology) BestLoop(src, dst Node) (loopIdx, dist int) {
 }
 
 // FullyConnected reports whether every ordered pair of distinct nodes is
-// joined by at least one loop.
+// joined by at least one loop. It reads the incremental pair count: O(1).
 func (t *Topology) FullyConnected() bool {
-	return len(t.UnconnectedPairs(1)) == 0
+	n := t.N()
+	return t.connPairs == n*(n-1)
 }
 
 // UnconnectedPairs returns up to max ordered pairs lacking a connecting
@@ -271,46 +388,20 @@ func (t *Topology) UnconnectedPairs(max int) [][2]Node {
 
 // ConnectedCount returns the number of ordered (src,dst) pairs, src != dst,
 // joined by at least one loop. A fully connected N-node topology returns
-// N*(N-1).
-func (t *Topology) ConnectedCount() int {
-	n := t.N()
-	count := 0
-	for s := 0; s < n; s++ {
-		src := NodeFromID(s, t.cols)
-		for d := 0; d < n; d++ {
-			if s != d && t.Dist(src, NodeFromID(d, t.cols)) > 0 {
-				count++
-			}
-		}
-	}
-	return count
-}
+// N*(N-1). It reads the incremental pair count: O(1).
+func (t *Topology) ConnectedCount() int { return t.connPairs }
 
 // AverageHops returns the mean loop distance over all connected ordered
 // pairs and the number of unconnected pairs. The paper's "average hop
-// count" metric is this mean on a fully connected topology.
+// count" metric is this mean on a fully connected topology. Both values
+// come from incrementally maintained totals: O(1).
 func (t *Topology) AverageHops() (mean float64, unconnected int) {
 	n := t.N()
-	total, pairs := 0, 0
-	for s := 0; s < n; s++ {
-		src := NodeFromID(s, t.cols)
-		for d := 0; d < n; d++ {
-			if s == d {
-				continue
-			}
-			h := t.Dist(src, NodeFromID(d, t.cols))
-			if h < 0 {
-				unconnected++
-				continue
-			}
-			total += h
-			pairs++
-		}
-	}
-	if pairs == 0 {
+	unconnected = n*(n-1) - t.connPairs
+	if t.connPairs == 0 {
 		return 0, unconnected
 	}
-	return float64(total) / float64(pairs), unconnected
+	return float64(t.hopTotal) / float64(t.connPairs), unconnected
 }
 
 // PathCount returns the number of distinct loops connecting src to dst.
@@ -355,18 +446,71 @@ func (t *Topology) TotalWiring() int {
 	return s
 }
 
+// fpInsert places l at its canonical position, keeping fpLoops sorted so
+// Fingerprint never sorts. The binary search is hand-rolled to keep
+// AddLoop allocation-free.
+func (t *Topology) fpInsert(l Loop) {
+	lo, hi := 0, len(t.fpLoops)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if loopLess(t.fpLoops[mid], l) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	t.fpLoops = append(t.fpLoops, Loop{})
+	copy(t.fpLoops[lo+1:], t.fpLoops[lo:])
+	t.fpLoops[lo] = l
+	t.fpDirty = true
+}
+
+// loopLess is the canonical fingerprint order: corner coordinates, then
+// direction.
+func loopLess(a, b Loop) bool {
+	if a.R1 != b.R1 {
+		return a.R1 < b.R1
+	}
+	if a.C1 != b.C1 {
+		return a.C1 < b.C1
+	}
+	if a.R2 != b.R2 {
+		return a.R2 < b.R2
+	}
+	if a.C2 != b.C2 {
+		return a.C2 < b.C2
+	}
+	return a.Dir < b.Dir
+}
+
 // Fingerprint returns a canonical string for the loop multiset, used as a
-// state key by the MCTS. Loop order is normalized.
+// state key by the MCTS. The canonical order is maintained incrementally
+// by AddLoop and the rendered string is cached, so repeated calls on an
+// unchanged topology are allocation-free.
 func (t *Topology) Fingerprint() string {
-	keys := make([]string, len(t.loops))
-	for i, l := range t.loops {
-		keys[i] = l.String()
+	if !t.fpDirty {
+		return t.fpStr
 	}
-	sort.Strings(keys)
-	out := make([]byte, 0, len(keys)*12)
-	for _, k := range keys {
-		out = append(out, k...)
-		out = append(out, ';')
+	b := t.fpBuf[:0]
+	for _, l := range t.fpLoops {
+		b = append(b, '(')
+		b = strconv.AppendInt(b, int64(l.R1), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(l.C1), 10)
+		b = append(b, ")-("...)
+		b = strconv.AppendInt(b, int64(l.R2), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(l.C2), 10)
+		b = append(b, ')', '/')
+		if l.Dir == Clockwise {
+			b = append(b, "CW"...)
+		} else {
+			b = append(b, "CCW"...)
+		}
+		b = append(b, ';')
 	}
-	return string(out)
+	t.fpBuf = b
+	t.fpStr = string(b)
+	t.fpDirty = false
+	return t.fpStr
 }
