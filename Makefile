@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-nn bench-sim bench-drl
+.PHONY: ci vet build test race bench bench-nn bench-sim bench-drl bench-infer
 
 ci: vet build test race
 
@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/drl/... ./internal/sim/... ./internal/obs/... ./internal/mcts/... ./internal/exp/... ./internal/rl/...
+	$(GO) test -race ./internal/drl/... ./internal/sim/... ./internal/obs/... ./internal/mcts/... ./internal/exp/... ./internal/rl/... ./internal/infer/...
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' .
@@ -44,4 +44,12 @@ bench-sim:
 # Before/after numbers for PR 4 live in BENCH_PR4.json.
 bench-drl:
 	$(GO) test -bench 'BenchmarkGreedyComplete|BenchmarkFingerprint' -benchmem -run '^$$' .
+	$(GO) test -bench 'BenchmarkDRLEpisode' -benchmem -run '^$$' ./internal/drl/
+
+# Quick iteration loop for the batched-inference service (internal/infer
+# broker, nn.ForwardBatch, fingerprint-keyed evaluation cache): batched vs
+# single-sample forwards, and broker-routed episodes vs the per-worker
+# baseline. Before/after numbers for PR 5 live in BENCH_PR5.json.
+bench-infer:
+	$(GO) test -bench 'BenchmarkDNNForwardBatch|BenchmarkDNNForward$$' -benchmem -run '^$$' .
 	$(GO) test -bench 'BenchmarkDRLEpisode' -benchmem -run '^$$' ./internal/drl/

@@ -248,6 +248,39 @@ func BenchmarkDNNForward(b *testing.B) {
 	}
 }
 
+// BenchmarkDNNForwardBatch measures the batched inference path the
+// internal/infer broker runs: one ForwardBatch over B stacked states,
+// reported per batch (divide by B for the per-sample cost against
+// BenchmarkDNNForward). Before/after numbers for PR 5 live in
+// BENCH_PR5.json.
+func BenchmarkDNNForwardBatch(b *testing.B) {
+	for _, n := range []int{4, 8} {
+		for _, bs := range []int{1, 8, 32} {
+			b.Run(strconv.Itoa(n)+"x"+strconv.Itoa(n)+"/B"+strconv.Itoa(bs), func(b *testing.B) {
+				net := nn.NewPolicyValueNet(nn.Config{N: n, BaseChannels: 4, Pools: 3}, 1)
+				rng := rand.New(rand.NewSource(2))
+				states := make([][]float64, bs)
+				for s := range states {
+					in := make([]float64, n*n*n*n)
+					for i := range in {
+						in[i] = rng.Float64() * 40
+					}
+					states[s] = in
+				}
+				outs := make([]nn.Output, bs)
+				net.WarmBatch(bs)
+				net.ForwardBatch(states, outs) // populate the output slices
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					net.ForwardBatch(states, outs)
+				}
+				b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(bs)*1e9, "ns/sample")
+			})
+		}
+	}
+}
+
 func BenchmarkDNNTrainStep(b *testing.B) {
 	net := nn.NewPolicyValueNet(nn.Config{N: 4, BaseChannels: 4, Pools: 3}, 1)
 	env := rl.NewEnv(4, 6)

@@ -29,6 +29,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address while running")
 	eventsPath := flag.String("events", "", "write structured JSONL run events to this path")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "simulation points run in parallel per experiment (1 = sequential; reports are identical either way)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	flag.Parse()
 
 	if *list {
@@ -93,15 +94,28 @@ func main() {
 		fmt.Printf("metrics written to %s\n", *metricsPath)
 	}
 
+	// Bracket only the experiment run; report/CSV generation is excluded.
+	stopProfile := func() {}
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		stopProfile = stop
+	}
 	o := exp.Options{Quick: !*full, Seed: *seed, Workers: *jobs, Metrics: reg, Events: events}
 	if *id == "all" {
-		for _, r := range exp.All(o) {
+		rs := exp.All(o)
+		stopProfile()
+		for _, r := range rs {
 			fmt.Println(r)
 		}
 		writeMetrics()
 		return
 	}
 	r, err := exp.ByID(*id, o)
+	stopProfile()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)

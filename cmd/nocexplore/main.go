@@ -8,13 +8,13 @@
 //	nocexplore -n 8 -cap 14 -episodes 200 -threads 4 -epsilon 0.1
 //	nocexplore -n 8 -episodes 500 -metrics search.json -events search.jsonl
 //	nocexplore -n 8 -episodes 200 -cpuprofile search.pprof
+//	nocexplore -n 8 -episodes 200 -threads 4 -infer-batch 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime/pprof"
 	"time"
 
 	"routerless/internal/drl"
@@ -30,6 +30,7 @@ func main() {
 	cap := flag.Int("cap", 0, "node overlapping cap (default 2(n-1))")
 	episodes := flag.Int("episodes", 100, "exploration cycles")
 	threads := flag.Int("threads", 1, "learner threads (§4.6)")
+	inferBatch := flag.Int("infer-batch", 0, "route DNN evaluations through the shared batched-inference broker with this max batch size (0 = per-worker forwards)")
 	epsilon := flag.Float64("epsilon", 0.1, "ε-greedy factor")
 	cpuct := flag.Float64("c", 1.5, "MCTS exploration constant")
 	lr := flag.Float64("lr", 1e-3, "learning rate")
@@ -78,6 +79,7 @@ func main() {
 	cfg := drl.DefaultConfig(*n, overlap)
 	cfg.Episodes = *episodes
 	cfg.Threads = *threads
+	cfg.InferBatch = *inferBatch
 	cfg.Epsilon = *epsilon
 	cfg.CPuct = *cpuct
 	cfg.LR = *lr
@@ -131,21 +133,18 @@ func main() {
 	// The profile brackets exactly the search (not flag parsing or report
 	// generation) and is stopped explicitly: the no-valid-design path exits
 	// with os.Exit, which would skip a deferred stop.
+	stopProfile := func() {}
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+		stop, err := obs.StartCPUProfile(*cpuProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nocexplore:", err)
 			os.Exit(1)
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "nocexplore:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
+		stopProfile = stop
 	}
 	res := s.Run()
+	stopProfile()
 	if *cpuProfile != "" {
-		pprof.StopCPUProfile()
 		fmt.Fprintf(os.Stderr, "nocexplore: cpu profile written to %s\n", *cpuProfile)
 	}
 

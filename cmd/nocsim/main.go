@@ -44,6 +44,7 @@ func main() {
 	eventsPath := flag.String("events", "", "write structured JSONL run events to this path")
 	progress := flag.Int("progress", 0, "print a progress line to stderr every N simulated cycles (0 = off)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "sweep points simulated in parallel (1 = sequential; output is identical either way)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	flag.Parse()
 
 	var reg *obs.Registry
@@ -126,6 +127,18 @@ func main() {
 		fmt.Printf("metrics written to %s\n", *metricsPath)
 	}
 
+	// The profile brackets only the simulation itself (both run paths), not
+	// flag parsing or report printing; fatal exits via os.Exit, so the stop
+	// closure is also invoked before each post-profile section.
+	stopProfile := func() {}
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		stopProfile = stop
+	}
+
 	if *app != "" {
 		profile, err := traffic.ParsecProfile(*app)
 		if err != nil {
@@ -134,6 +147,7 @@ func main() {
 		src := traffic.NewAppInjector(profile, rows, cols, linkBits, *seed)
 		cfg.OnInterval = progressFn("")
 		res := sim.Run(mk(), src, cfg)
+		stopProfile()
 		fmt.Printf("app=%s %v\n", profile.Name, res)
 		writeMetrics()
 		return
@@ -162,6 +176,7 @@ func main() {
 		src := traffic.NewInjector(rows, cols, p, r, linkBits, *seed)
 		return sim.Run(mk(), src, c)
 	})
+	stopProfile()
 	var points []sim.SweepPoint
 	fmt.Printf("%-10s %-10s %-12s %-10s %s\n", "rate", "latency", "throughput", "hops", "flags")
 	for i, res := range results {

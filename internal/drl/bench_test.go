@@ -3,6 +3,8 @@ package drl
 import (
 	"math/rand"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"routerless/internal/nn"
@@ -25,6 +27,55 @@ func BenchmarkDRLEpisode(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.runEpisode(net, rng, cfg.GuidedActions, ar)
+			}
+		})
+	}
+}
+
+// BenchmarkDRLEpisodeBroker is BenchmarkDRLEpisode with evaluations routed
+// through the shared inference broker: four concurrent workers split b.N
+// episodes, their policy/value requests coalesce, batch, and hit the
+// fingerprint-keyed cache. Like BenchmarkDRLEpisode it omits the training
+// step between episodes, so the cache lives across episodes (the search/
+// inference regime); in a training run each weight sync invalidates it.
+// Reports the cache hit rate alongside ns/op. Before/after numbers for
+// PR 5 live in BENCH_PR5.json.
+func BenchmarkDRLEpisodeBroker(b *testing.B) {
+	const workers = 4
+	for _, n := range []int{8, 10} {
+		b.Run(strconv.Itoa(n)+"x"+strconv.Itoa(n), func(b *testing.B) {
+			cfg := DefaultConfig(n, 2*(n-1))
+			cfg.NN = nn.Config{N: n, BaseChannels: 2, Pools: 2}
+			cfg.Threads = workers
+			cfg.InferBatch = 8
+			s := MustNew(cfg)
+			stop := s.startBroker()
+			defer stop()
+			nets := make([]*nn.PolicyValueNet, workers)
+			arenas := make([]*episodeArena, workers)
+			for w := range nets {
+				nets[w] = nn.NewPolicyValueNet(cfg.NN, cfg.Seed+int64(w))
+				arenas[w] = s.newArena()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(7 + int64(w)))
+					for next.Add(1) <= int64(b.N) {
+						s.runEpisode(nets[w], rng, cfg.GuidedActions, arenas[w])
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			st := s.InferStats()
+			if st.Requests > 0 {
+				b.ReportMetric(float64(st.Hits)/float64(st.Requests), "cache_hit_rate")
 			}
 		})
 	}

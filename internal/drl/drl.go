@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"routerless/internal/infer"
 	"routerless/internal/mcts"
 	"routerless/internal/nn"
 	"routerless/internal/obs"
@@ -64,6 +65,17 @@ type Config struct {
 	// MaxLoopLen, when > 0, restricts loop perimeters — the additional
 	// design constraint of §6.2.
 	MaxLoopLen int
+	// InferBatch, when > 0, routes policy/value evaluations through a
+	// shared batched-inference broker (internal/infer): learner goroutines
+	// submit fingerprint-keyed requests that are coalesced, batched up to
+	// this size, evaluated in one batch forward, and fronted by an LRU
+	// cache invalidated on every parameter-server sync. Zero keeps the
+	// legacy per-worker Forward path (the single-thread determinism
+	// oracle).
+	InferBatch int
+	// InferCacheSize sizes the broker's evaluation cache (0 = broker
+	// default, negative = caching disabled). Ignored when InferBatch == 0.
+	InferCacheSize int
 	// Seed makes single-threaded runs fully deterministic.
 	Seed int64
 	// InitWeights, when non-nil, warm-starts the policy/value network
@@ -125,6 +137,9 @@ type Searcher struct {
 	tree *mcts.Tree
 
 	server *paramServer
+	// broker is the shared batched-inference service, non-nil only while a
+	// Run with cfg.InferBatch > 0 is in progress.
+	broker *infer.Broker
 
 	mu      sync.Mutex
 	result  Result
@@ -206,6 +221,10 @@ func (s *Searcher) Run() *Result {
 		"use_dnn":  s.cfg.UseDNN,
 		"use_mcts": s.cfg.UseMCTS,
 	})
+	if s.cfg.UseDNN && s.cfg.InferBatch > 0 {
+		stop := s.startBroker()
+		defer stop()
+	}
 	var wg sync.WaitGroup
 	perThread := s.cfg.Episodes / s.cfg.Threads
 	extra := s.cfg.Episodes % s.cfg.Threads
@@ -241,13 +260,49 @@ func (s *Searcher) Run() *Result {
 	return &out
 }
 
+// startBroker builds the dedicated evaluator network from the parameter
+// server's current weights and starts the shared inference broker. The
+// returned stop function closes the broker after the workers have drained.
+func (s *Searcher) startBroker() func() {
+	net := nn.NewPolicyValueNet(s.cfg.NN, s.cfg.Seed)
+	net.SetWeights(s.server.snapshot())
+	br := infer.New(infer.Config{
+		Net:       net,
+		Batch:     s.cfg.InferBatch,
+		CacheSize: s.cfg.InferCacheSize,
+		Metrics:   s.cfg.Metrics,
+	})
+	s.mu.Lock()
+	s.broker = br
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		s.broker = nil
+		s.mu.Unlock()
+		br.Close()
+	}
+}
+
+// InferStats reports the inference broker's counters; the zero Stats when
+// no broker is running (InferBatch == 0 or outside Run). Safe to call
+// concurrently with Run, like Progress.
+func (s *Searcher) InferStats() infer.Stats {
+	s.mu.Lock()
+	br := s.broker
+	s.mu.Unlock()
+	if br == nil {
+		return infer.Stats{}
+	}
+	return br.Stats()
+}
+
 // worker is one learner thread (§4.6): it keeps a private copy of the DNN,
 // refreshes weights from the parameter server before each episode, and
 // pushes gradients back after each episode.
 func (s *Searcher) worker(tid, episodes int) {
 	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(tid)*7919))
 	var net *nn.PolicyValueNet
-	var weights, grads []float64
+	var weights, grads, stats []float64
 	if s.cfg.UseDNN {
 		// Each worker owns its network — and with it the network's scratch
 		// arena (im2col buffers, activation/gradient tensors), which is
@@ -259,6 +314,15 @@ func (s *Searcher) worker(tid, episodes int) {
 		grads = make([]float64, net.NumParams())
 		s.server.snapshotInto(weights)
 		net.SetWeights(weights)
+		if s.broker != nil {
+			// The broker's evaluator must track not just the weights but the
+			// BatchNorm running statistics eval-mode inference reads (they
+			// evolve during training forwards and are NOT part of the flat
+			// weight vector).
+			stats = make([]float64, net.NumStats())
+			net.CopyStatsInto(stats)
+			s.broker.Sync(weights, stats)
+		}
 	}
 	a2c := rl.A2C{Gamma: s.cfg.Gamma, ValueCoeff: 0.5}
 	ar := s.newArena()
@@ -310,6 +374,14 @@ func (s *Searcher) worker(tid, episodes int) {
 			net.ZeroGrads()
 			s.server.snapshotInto(weights)
 			net.SetWeights(weights)
+			if s.broker != nil {
+				// Publish the refreshed weights (and the running statistics
+				// the training forwards just advanced) to the shared
+				// evaluator; this bumps the broker generation and drops
+				// every cached evaluation computed under the old weights.
+				net.CopyStatsInto(stats)
+				s.broker.Sync(weights, stats)
+			}
 		}
 
 		s.mu.Lock()
@@ -443,7 +515,7 @@ func (s *Searcher) runEpisode(net *nn.PolicyValueNet, rng *rand.Rand, guided int
 		case first && net != nil:
 			// The DNN proposes the initial action raw (Fig. 4); it may
 			// be penalized, teaching constraint compliance.
-			a, ok = sampleRaw(net, state, rng), true
+			a, ok = s.sampleRaw(net, fp, state, rng), true
 		default:
 			a, ok = s.chooseAction(net, env, fp, state, rng, ar)
 		}
@@ -508,17 +580,32 @@ func (s *Searcher) chooseAction(net *nn.PolicyValueNet, env *rl.Env, fp string, 
 	if len(legal) == 0 {
 		return rl.Action{}, false
 	}
-	priors := s.priorsInto(net, state, legal, ar)
+	priors := s.priorsInto(net, fp, state, legal, ar)
 	if s.cfg.UseMCTS {
 		s.tree.Expand(fp, legal, priors)
 	}
 	return samplePriors(legal, priors, rng), true
 }
 
+// policyEval returns the policy heads (four coordinate softmax groups and
+// the tanh direction) for the given state: through the shared inference
+// broker when one is running — concurrent learners then batch into one
+// forward and share cached evaluations keyed by the canonical topology
+// fingerprint — or via the worker's own network on the legacy path. Both
+// paths are byte-identical for equal weights and running statistics.
+func (s *Searcher) policyEval(net *nn.PolicyValueNet, fp string, state []float64) (probs *[4][]float64, dir float64) {
+	if s.broker != nil {
+		ev := s.broker.Submit(fp, state)
+		return &ev.CoordProbs, ev.Dir
+	}
+	out := net.Forward(state, false)
+	return &out.CoordProbs, out.Dir
+}
+
 // priorsInto fills the arena's prior buffer with each legal action's
 // (unnormalized) policy probability, aligned with legal; without a DNN,
 // priors are uniform.
-func (s *Searcher) priorsInto(net *nn.PolicyValueNet, state []float64, legal []rl.Action, ar *episodeArena) []float64 {
+func (s *Searcher) priorsInto(net *nn.PolicyValueNet, fp string, state []float64, legal []rl.Action, ar *episodeArena) []float64 {
 	if cap(ar.priors) < len(legal) {
 		ar.priors = make([]float64, len(legal))
 	}
@@ -530,11 +617,11 @@ func (s *Searcher) priorsInto(net *nn.PolicyValueNet, state []float64, legal []r
 		}
 		return priors
 	}
-	out := net.Forward(state, false)
-	pcw := (1 + out.Dir) / 2
+	probs, dir := s.policyEval(net, fp, state)
+	pcw := (1 + dir) / 2
 	for i, a := range legal {
-		p := out.CoordProbs[0][a.X1] * out.CoordProbs[1][a.Y1] *
-			out.CoordProbs[2][a.X2] * out.CoordProbs[3][a.Y2]
+		p := probs[0][a.X1] * probs[1][a.Y1] *
+			probs[2][a.X2] * probs[3][a.Y2]
 		if a.Dir == topo.Clockwise {
 			p *= pcw
 		} else {
@@ -547,8 +634,8 @@ func (s *Searcher) priorsInto(net *nn.PolicyValueNet, state []float64, legal []r
 
 // sampleRaw draws an action directly from the DNN output heads, the
 // paper's raw policy sample for the episode's initial action.
-func sampleRaw(net *nn.PolicyValueNet, state []float64, rng *rand.Rand) rl.Action {
-	out := net.Forward(state, false)
+func (s *Searcher) sampleRaw(net *nn.PolicyValueNet, fp string, state []float64, rng *rand.Rand) rl.Action {
+	probs, dirPCW := s.policyEval(net, fp, state)
 	pick := func(probs []float64) int {
 		r := rng.Float64()
 		acc := 0.0
@@ -561,12 +648,12 @@ func sampleRaw(net *nn.PolicyValueNet, state []float64, rng *rand.Rand) rl.Actio
 		return len(probs) - 1
 	}
 	dir := topo.Counterclockwise
-	if rng.Float64() < (1+out.Dir)/2 {
+	if rng.Float64() < (1+dirPCW)/2 {
 		dir = topo.Clockwise
 	}
 	return rl.Action{
-		X1: pick(out.CoordProbs[0]), Y1: pick(out.CoordProbs[1]),
-		X2: pick(out.CoordProbs[2]), Y2: pick(out.CoordProbs[3]),
+		X1: pick(probs[0]), Y1: pick(probs[1]),
+		X2: pick(probs[2]), Y2: pick(probs[3]),
 		Dir: dir,
 	}
 }

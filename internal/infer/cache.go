@@ -1,0 +1,153 @@
+package infer
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards is the fixed shard count of the evaluation cache; fingerprint
+// keys hash uniformly (they are canonical loop-list renderings), so 16
+// shards keep lock hold times short without a resizable table.
+const cacheShards = 16
+
+// evalCache is a sharded fingerprint-keyed LRU of immutable *Eval values.
+// A nil *evalCache is a valid disabled cache: every method no-ops.
+type evalCache struct {
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*cacheEntry
+	head    *cacheEntry // most recently used
+	tail    *cacheEntry // next eviction victim
+}
+
+type cacheEntry struct {
+	fp         string
+	ev         *Eval
+	prev, next *cacheEntry
+}
+
+func newEvalCache(total int) *evalCache {
+	per := max(1, total/cacheShards)
+	c := &evalCache{}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].entries = make(map[string]*cacheEntry, per)
+	}
+	return c
+}
+
+func (c *evalCache) shard(fp string) *cacheShard {
+	// FNV-1a over the fingerprint bytes; only shard selection needs to be
+	// stable within the process.
+	h := uint32(2166136261)
+	for i := 0; i < len(fp); i++ {
+		h = (h ^ uint32(fp[i])) * 16777619
+	}
+	return &c.shards[h&(cacheShards-1)]
+}
+
+// get returns the cached evaluation for fp (promoting it to most recently
+// used) or nil.
+func (c *evalCache) get(fp string) *Eval {
+	if c == nil {
+		return nil
+	}
+	s := c.shard(fp)
+	s.mu.Lock()
+	e := s.entries[fp]
+	if e == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	s.moveToFront(e)
+	ev := e.ev
+	s.mu.Unlock()
+	return ev
+}
+
+// put inserts an evaluation computed under generation gen, evicting the
+// shard's LRU entry when over capacity. The generation check happens under
+// the shard lock against the live counter, so an evaluation that raced
+// with an invalidation can never land in the post-invalidation cache.
+// Returns whether an entry was evicted.
+func (c *evalCache) put(fp string, ev *Eval, gen uint64, cur *atomic.Uint64) (evicted bool) {
+	if c == nil {
+		return false
+	}
+	s := c.shard(fp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur.Load() != gen {
+		return false // stale result: weights changed since it was computed
+	}
+	if e := s.entries[fp]; e != nil {
+		e.ev = ev
+		s.moveToFront(e)
+		return false
+	}
+	e := &cacheEntry{fp: fp, ev: ev}
+	s.entries[fp] = e
+	s.pushFront(e)
+	if len(s.entries) > s.cap {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.entries, victim.fp)
+		return true
+	}
+	return false
+}
+
+// clear drops every entry, returning how many were removed.
+func (c *evalCache) clear() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		clear(s.entries)
+		s.head, s.tail = nil, nil
+		s.mu.Unlock()
+	}
+	return n
+}
+
+func (s *cacheShard) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheShard) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) moveToFront(e *cacheEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}

@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// perturbNet gives weights and BatchNorm running statistics nontrivial
+// values so the parity checks exercise real affine transforms, not the
+// mean-0/var-1 initialization.
+func perturbNet(net *PolicyValueNet, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	w := net.GetWeights()
+	for i := range w {
+		w[i] += 0.05 * rng.NormFloat64()
+	}
+	net.SetWeights(w)
+	st := make([]float64, net.NumStats())
+	net.CopyStatsInto(st)
+	for _, bn := range net.bns {
+		for c := range bn.RunMean {
+			bn.RunMean[c] = 0.3 * rng.NormFloat64()
+			bn.RunVar[c] = 0.5 + rng.Float64()
+		}
+	}
+	if len(st) == 0 {
+		panic("test net has no BatchNorm stats")
+	}
+}
+
+func randStates(rng *rand.Rand, n, count int) [][]float64 {
+	states := make([][]float64, count)
+	for i := range states {
+		s := make([]float64, n*n*n*n)
+		for j := range s {
+			s[j] = float64(rng.Intn(5 * n)) // hop-matrix-like magnitudes
+		}
+		states[i] = s
+	}
+	return states
+}
+
+func assertOutputsEqual(t *testing.T, tag string, got, want *Output) {
+	t.Helper()
+	for g := 0; g < 4; g++ {
+		for i := range want.CoordLogits[g] {
+			if got.CoordLogits[g][i] != want.CoordLogits[g][i] {
+				t.Fatalf("%s: coord logit group %d idx %d: got %v want %v",
+					tag, g, i, got.CoordLogits[g][i], want.CoordLogits[g][i])
+			}
+			if got.CoordProbs[g][i] != want.CoordProbs[g][i] {
+				t.Fatalf("%s: coord prob group %d idx %d: got %v want %v",
+					tag, g, i, got.CoordProbs[g][i], want.CoordProbs[g][i])
+			}
+		}
+	}
+	if got.DirPre != want.DirPre || got.Dir != want.Dir {
+		t.Fatalf("%s: dir got (%v,%v) want (%v,%v)", tag, got.DirPre, got.Dir, want.DirPre, want.Dir)
+	}
+	if got.Value != want.Value {
+		t.Fatalf("%s: value got %v want %v", tag, got.Value, want.Value)
+	}
+}
+
+func copyOutput(out *Output) *Output {
+	cp := &Output{DirPre: out.DirPre, Dir: out.Dir, Value: out.Value}
+	for g := 0; g < 4; g++ {
+		cp.CoordLogits[g] = append([]float64(nil), out.CoordLogits[g]...)
+		cp.CoordProbs[g] = append([]float64(nil), out.CoordProbs[g]...)
+	}
+	return cp
+}
+
+// The byte-identity satellite: ForwardBatch over B stacked states must
+// reproduce B independent Forward calls bit-for-bit — policy logits and
+// softmax groups, pre-tanh direction, and value — across batch sizes,
+// including B=1 and batches larger than the conv chunk budget.
+func TestForwardBatchMatchesForwardByteIdentical(t *testing.T) {
+	for _, n := range []int{4, 5} {
+		t.Run(strconv.Itoa(n)+"x"+strconv.Itoa(n), func(t *testing.T) {
+			net := NewPolicyValueNet(TestConfig(n), 3)
+			perturbNet(net, 17)
+			rng := rand.New(rand.NewSource(23))
+			for _, bs := range []int{1, 3, 8} {
+				states := randStates(rng, n, bs)
+				want := make([]*Output, bs)
+				for i, s := range states {
+					want[i] = copyOutput(net.Forward(s, false))
+				}
+				outs := make([]Output, bs)
+				net.ForwardBatch(states, outs)
+				for i := range outs {
+					assertOutputsEqual(t, "B="+strconv.Itoa(bs)+" sample "+strconv.Itoa(i),
+						&outs[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// Forcing a tiny im2col budget exercises the chunked conv path (partial
+// chunks routed through the scatter buffer); results must not change.
+func TestForwardBatchChunkedConvByteIdentical(t *testing.T) {
+	net := NewPolicyValueNet(TestConfig(4), 5)
+	perturbNet(net, 29)
+	rng := rand.New(rand.NewSource(31))
+	states := randStates(rng, 4, 5)
+	want := make([]*Output, len(states))
+	for i, s := range states {
+		want[i] = copyOutput(net.Forward(s, false))
+	}
+	defer func(old int) { batchColsBudget = old }(batchColsBudget)
+	for _, budget := range []int{1, 4096, 20000} { // chunk = 1, small, mixed
+		batchColsBudget = budget
+		outs := make([]Output, len(states))
+		net.ForwardBatch(states, outs)
+		for i := range outs {
+			assertOutputsEqual(t, "budget "+strconv.Itoa(budget)+" sample "+strconv.Itoa(i),
+				&outs[i], want[i])
+		}
+	}
+}
+
+// Interleaving batched inference with a training step must not corrupt
+// either path: the batch scratch is disjoint from the training caches.
+func TestForwardBatchDoesNotDisturbTraining(t *testing.T) {
+	cfg := TestConfig(4)
+	ref := NewPolicyValueNet(cfg, 7)
+	mix := NewPolicyValueNet(cfg, 7)
+	rng := rand.New(rand.NewSource(37))
+	states := randStates(rng, 4, 4)
+	var dl [4][]float64
+	for g := range dl {
+		dl[g] = make([]float64, cfg.N)
+		dl[g][g%cfg.N] = 0.5
+	}
+	outs := make([]Output, len(states))
+	for step := 0; step < 3; step++ {
+		// ref: pure training. mix: batched inference wedged mid-cycle.
+		ref.Forward(states[0], true)
+		mix.Forward(states[0], true)
+		mix.ForwardBatch(states, outs)
+		ref.Backward(dl, 0.1, -0.2)
+		mix.Backward(dl, 0.1, -0.2)
+		refG := ref.GetGrads()
+		mixG := mix.GetGrads()
+		for i := range refG {
+			if refG[i] != mixG[i] {
+				t.Fatalf("step %d grad %d diverged: %v vs %v", step, i, refG[i], mixG[i])
+			}
+		}
+		SGD{LR: 0.01}.Step(ref)
+		SGD{LR: 0.01}.Step(mix)
+	}
+}
+
+// The 0-alloc satellite: a warmed-up batched forward allocates nothing.
+func TestForwardBatchZeroAllocWarm(t *testing.T) {
+	net := NewPolicyValueNet(TestConfig(4), 9)
+	perturbNet(net, 41)
+	rng := rand.New(rand.NewSource(43))
+	states := randStates(rng, 4, 8)
+	outs := make([]Output, 8)
+	net.WarmBatch(8)
+	net.ForwardBatch(states, outs) // populate the output slices too
+	if allocs := testing.AllocsPerRun(50, func() {
+		net.ForwardBatch(states, outs)
+	}); allocs != 0 {
+		t.Fatalf("warmed ForwardBatch allocates %.0f times per batch, want 0", allocs)
+	}
+	// Smaller batches reuse the same warmed scratch.
+	if allocs := testing.AllocsPerRun(50, func() {
+		net.ForwardBatch(states[:3], outs[:3])
+	}); allocs != 0 {
+		t.Fatalf("warmed ForwardBatch(B=3) allocates %.0f times per batch, want 0", allocs)
+	}
+}
+
+// Running-statistics round trip: the flat vector restores eval-mode
+// behavior exactly on a fresh net.
+func TestStatsRoundTripReproducesEval(t *testing.T) {
+	cfg := TestConfig(4)
+	src := NewPolicyValueNet(cfg, 11)
+	perturbNet(src, 47)
+	dst := NewPolicyValueNet(cfg, 999) // different init everywhere
+	dst.SetWeights(src.GetWeights())
+	st := make([]float64, src.NumStats())
+	src.CopyStatsInto(st)
+	dst.SetStats(st)
+	rng := rand.New(rand.NewSource(53))
+	for _, s := range randStates(rng, 4, 3) {
+		want := copyOutput(src.Forward(s, false))
+		got := dst.Forward(s, false)
+		assertOutputsEqual(t, "stats round trip", got, want)
+	}
+}

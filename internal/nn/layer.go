@@ -59,6 +59,11 @@ type Conv2D struct {
 	dcols []float64
 	out   *tensor.Tensor
 	dx    *tensor.Tensor
+	// Batched-inference scratch (see batch.go); separate from the training
+	// buffers so ForwardBatch never clobbers state a pending Backward needs.
+	bcols []float64
+	btmp  []float64
+	bout  *tensor.Tensor
 }
 
 // NewConv2D builds a conv layer with He-initialized weights.
@@ -147,6 +152,7 @@ type BatchNorm struct {
 	invSD []float64
 	out   *tensor.Tensor
 	dx    *tensor.Tensor
+	bout  *tensor.Tensor // batched-inference scratch (batch.go)
 }
 
 // NewBatchNorm builds a batch-norm layer for c channels.
@@ -249,6 +255,7 @@ type ReLU struct {
 	mask  []bool
 	out   *tensor.Tensor
 	dx    *tensor.Tensor
+	bout  *tensor.Tensor // batched-inference scratch (batch.go)
 }
 
 // NewReLU builds a ReLU layer.
@@ -298,6 +305,7 @@ type MaxPool struct {
 	inSh   []int
 	out    *tensor.Tensor
 	dx     *tensor.Tensor
+	bout   *tensor.Tensor // batched-inference scratch (batch.go)
 }
 
 // NewMaxPool builds the pooling layer.
@@ -368,6 +376,7 @@ type Dense struct {
 	x     *tensor.Tensor
 	out   *tensor.Tensor
 	dx    *tensor.Tensor
+	bout  *tensor.Tensor // batched-inference scratch (batch.go)
 }
 
 // NewDense builds an FC layer with Xavier-initialized weights.
@@ -455,6 +464,7 @@ type Residual struct {
 	x     *tensor.Tensor
 	sum   *tensor.Tensor
 	dx    *tensor.Tensor
+	bsum  *tensor.Tensor // batched-inference scratch (batch.go)
 }
 
 // NewResidual builds a residual block of two 3×3 convolutions on c

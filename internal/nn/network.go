@@ -75,6 +75,18 @@ type PolicyValueNet struct {
 	flat  *tensor.Tensor
 	dDirT *tensor.Tensor
 	dValT *tensor.Tensor
+
+	// Batched-inference scratch (batch.go): the (1, B, N², N²) input tensor
+	// and the sample-major head repack buffers.
+	bin *tensor.Tensor
+	bpX *tensor.Tensor
+	bdX *tensor.Tensor
+	bvX *tensor.Tensor
+
+	// bns lists every BatchNorm in construction order, backing the running-
+	// statistics vector (NumStats/CopyStatsInto/SetStats) that inference
+	// evaluators sync alongside the weights.
+	bns []*BatchNorm
 }
 
 // NewPolicyValueNet constructs the network with the given seed.
@@ -165,6 +177,7 @@ func NewPolicyValueNet(cfg Config, seed int64) *PolicyValueNet {
 	for _, l := range []Layer{net.trunk, net.pConv, net.pFC1, net.pReLU,
 		net.pFC2, net.dConv, net.dFC, net.vConv, net.vFC} {
 		attachArena(net.arena, l)
+		collectBatchNorms(l, &net.bns)
 	}
 	net.in = tensor.New(1, side, side)
 	for g := 0; g < 4; g++ {
@@ -283,6 +296,61 @@ func (n *PolicyValueNet) SetWeights(w []float64) {
 	}
 	if off != len(w) {
 		panic(fmt.Sprintf("nn: SetWeights length %d, want %d", len(w), off))
+	}
+}
+
+// collectBatchNorms appends every BatchNorm under l in a deterministic
+// construction-order walk (mirroring attachArena's traversal).
+func collectBatchNorms(l Layer, dst *[]*BatchNorm) {
+	switch v := l.(type) {
+	case *BatchNorm:
+		*dst = append(*dst, v)
+	case *Sequential:
+		for _, inner := range v.Layers {
+			collectBatchNorms(inner, dst)
+		}
+	case *Residual:
+		collectBatchNorms(v.Body, dst)
+	}
+}
+
+// NumStats returns the number of BatchNorm running-statistic scalars
+// (running mean and variance per channel). These are NOT covered by
+// GetWeights/SetWeights — they evolve on each worker's private net during
+// training forwards — so inference evaluators that must reproduce a
+// worker's eval-mode outputs sync them separately via CopyStatsInto/
+// SetStats.
+func (n *PolicyValueNet) NumStats() int {
+	total := 0
+	for _, bn := range n.bns {
+		total += 2 * bn.C
+	}
+	return total
+}
+
+// CopyStatsInto flattens the BatchNorm running statistics (mean then
+// variance per layer, in construction order) into dst, which must have
+// length NumStats.
+func (n *PolicyValueNet) CopyStatsInto(dst []float64) {
+	off := 0
+	for _, bn := range n.bns {
+		off += copy(dst[off:], bn.RunMean)
+		off += copy(dst[off:], bn.RunVar)
+	}
+	if off != len(dst) {
+		panic(fmt.Sprintf("nn: CopyStatsInto length %d, want %d", len(dst), off))
+	}
+}
+
+// SetStats loads a flat vector previously produced by CopyStatsInto.
+func (n *PolicyValueNet) SetStats(src []float64) {
+	off := 0
+	for _, bn := range n.bns {
+		off += copy(bn.RunMean, src[off:off+bn.C])
+		off += copy(bn.RunVar, src[off:off+bn.C])
+	}
+	if off != len(src) {
+		panic(fmt.Sprintf("nn: SetStats length %d, want %d", len(src), off))
 	}
 }
 

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins writing a CPU profile to path and returns a stop
+// function that flushes and closes it. The stop function is idempotent, so
+// callers can both defer it (normal return) and call it explicitly before
+// an os.Exit path that would skip defers. It is the shared implementation
+// behind every binary's -cpuprofile flag; bracket only the section worth
+// profiling (the search, the sweep), not flag parsing or report printing.
+func StartCPUProfile(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("start cpu profile: %w", err)
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}

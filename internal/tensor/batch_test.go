@@ -1,0 +1,80 @@
+package tensor
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// Im2colBatch must reproduce, for every sample in the chunk, exactly the
+// column block Im2col produces for that sample alone — this is the
+// foundation of the batched forward's byte-identity guarantee.
+func TestIm2colBatchMatchesPerSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const (
+		inC, nb, h, w = 3, 5, 6, 7
+		k             = 3
+		pad           = (k - 1) / 2
+	)
+	hw := h * w
+	ickk := inC * k * k
+	// Channel-major batched input: sample bi of channel ic at (ic*nb+bi)*hw.
+	x := make([]float64, inC*nb*hw)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	single := make([]float64, inC*hw)
+	want := make([]float64, ickk*hw)
+	for s0 := 0; s0 < nb; s0++ {
+		for cb := 1; s0+cb <= nb; cb++ {
+			cols := make([]float64, ickk*cb*hw)
+			Im2colBatch(x, inC, nb, s0, cb, h, w, k, pad, cols)
+			for bi := 0; bi < cb; bi++ {
+				for ic := 0; ic < inC; ic++ {
+					copy(single[ic*hw:(ic+1)*hw], x[(ic*nb+s0+bi)*hw:(ic*nb+s0+bi+1)*hw])
+				}
+				Im2col(single, inC, h, w, k, pad, want)
+				for r := 0; r < ickk; r++ {
+					got := cols[r*cb*hw+bi*hw : r*cb*hw+(bi+1)*hw]
+					for j, v := range got {
+						if v != want[r*hw+j] {
+							t.Fatalf("s0=%d cb=%d sample %d row %d col %d: got %v want %v",
+								s0, cb, bi, r, j, v, want[r*hw+j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatVecBatch must be bit-identical, per sample, to GemmNN's n==1
+// matrix–vector fast path (the kernel Dense.Forward uses).
+func TestMatVecBatchMatchesGemmNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, sz := range []struct{ m, k, nb int }{
+		{7, 13, 4}, {1, 1, 1}, {32, 50, 8}, {4, 3, 5},
+	} {
+		t.Run(strconv.Itoa(sz.m)+"x"+strconv.Itoa(sz.k)+"b"+strconv.Itoa(sz.nb), func(t *testing.T) {
+			a := make([]float64, sz.m*sz.k)
+			x := make([]float64, sz.nb*sz.k)
+			for i := range a {
+				a[i] = rng.NormFloat64()
+			}
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			y := make([]float64, sz.nb*sz.m)
+			MatVecBatch(sz.m, sz.k, sz.nb, a, x, y)
+			want := make([]float64, sz.m)
+			for bi := 0; bi < sz.nb; bi++ {
+				GemmNN(sz.m, 1, sz.k, a, x[bi*sz.k:(bi+1)*sz.k], want, false)
+				for i, v := range want {
+					if y[bi*sz.m+i] != v {
+						t.Fatalf("sample %d out %d: got %v want %v", bi, i, y[bi*sz.m+i], v)
+					}
+				}
+			}
+		})
+	}
+}

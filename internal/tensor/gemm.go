@@ -88,6 +88,37 @@ func GemmNN(m, n, k int, a, b, c []float64, acc bool) {
 	}
 }
 
+// MatVecBatch computes Y = X·Aᵀ for a batch of row vectors: A is m×k
+// row-major (one weight row per output), X is nb×k (one input row per
+// sample), Y is nb×m. Each output element is evaluated with exactly the
+// four-accumulator dot product of GemmNN's n==1 matrix–vector fast path,
+// so row bi of Y is bit-identical to GemmNN(m, 1, k, a, x_bi, y_bi, false);
+// the output-row-outer/sample-inner nest streams each weight row once
+// across the whole batch instead of once per sample. This is the batched
+// Dense-layer kernel.
+func MatVecBatch(m, k, nb int, a, x, y []float64) {
+	gemmCheck("MatVecBatch", a, x, y, m*k, nb*k, nb*m)
+	for i := 0; i < m; i++ {
+		arow := a[i*k : i*k+k]
+		for bi := 0; bi < nb; bi++ {
+			xrow := x[bi*k : bi*k+k]
+			var s0, s1, s2, s3 float64
+			kk := 0
+			for ; kk+3 < k; kk += 4 {
+				s0 += arow[kk] * xrow[kk]
+				s1 += arow[kk+1] * xrow[kk+1]
+				s2 += arow[kk+2] * xrow[kk+2]
+				s3 += arow[kk+3] * xrow[kk+3]
+			}
+			s := s0 + s1 + s2 + s3
+			for ; kk < k; kk++ {
+				s += arow[kk] * xrow[kk]
+			}
+			y[bi*m+i] = s
+		}
+	}
+}
+
 // GemmNT computes C = A·Bᵀ, or C += A·Bᵀ when acc is true.
 // A is m×k, B is n×k (used transposed), C is m×n, all row-major. Each C
 // element is a dot product of two contiguous rows, evaluated with four
