@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-nn bench-sim bench-drl bench-infer
+.PHONY: ci vet build test race bench bench-nn bench-sim bench-drl bench-infer bench-obs trace-smoke
 
 ci: vet build test race
 
@@ -53,3 +53,27 @@ bench-drl:
 bench-infer:
 	$(GO) test -bench 'BenchmarkDNNForwardBatch|BenchmarkDNNForward$$' -benchmem -run '^$$' .
 	$(GO) test -bench 'BenchmarkDRLEpisode' -benchmem -run '^$$' ./internal/drl/
+
+# Tracing-overhead gate (PR 6): traced vs untraced episode and sim-run
+# pairs, plus the span/histogram micro-benchmarks. The disabled path must
+# stay allocation-free (internal/{sim,rl,drl} alloc tests pin it) and the
+# enabled path within a few percent. Before/after numbers live in
+# BENCH_PR6.json.
+bench-obs:
+	$(GO) test -bench 'BenchmarkSimRun$$|BenchmarkSimRunTraced' -benchmem -run '^$$' .
+	$(GO) test -bench 'BenchmarkDRLEpisode$$|BenchmarkDRLEpisodeTraced' -benchmem -run '^$$' ./internal/drl/
+	$(GO) test -bench 'BenchmarkTraceSpan|BenchmarkHistogram' -benchmem -run '^$$' ./internal/obs/
+
+# End-to-end tracing smoke: run a tiny traced search and a tiny traced
+# sweep, then validate the Chrome trace JSON (well-formed, strictly nested
+# per track, all expected span kinds present) with cmd/tracecheck.
+trace-smoke:
+	$(GO) run ./cmd/nocexplore -n 4 -episodes 6 -threads 2 -infer-batch 4 -progress 0 \
+		-trace /tmp/routerless-trace-explore.json -manifest /tmp/routerless-manifest.jsonl > /dev/null
+	$(GO) run ./cmd/tracecheck -require \
+		drl.run,drl.episode,mcts.select,mcts.expand,mcts.backup,infer.submit,infer.queue_wait,infer.batch_assemble,infer.forward_batch \
+		/tmp/routerless-trace-explore.json
+	$(GO) run ./cmd/nocsim -mesh 4 -rates 0.01,0.02 -warmup 200 -measure 500 \
+		-trace /tmp/routerless-trace-sim.json -manifest /tmp/routerless-manifest.jsonl > /dev/null
+	$(GO) run ./cmd/tracecheck -require sim.run,sim.warmup,sim.measure,sim.drain,exp.point \
+		/tmp/routerless-trace-sim.json

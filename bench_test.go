@@ -18,6 +18,7 @@ import (
 	"routerless/internal/exp"
 	"routerless/internal/nn"
 	"routerless/internal/noc3d"
+	"routerless/internal/obs"
 	"routerless/internal/rec"
 	"routerless/internal/rl"
 	"routerless/internal/search"
@@ -228,6 +229,28 @@ func BenchmarkSimRun(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSimRunTraced is BenchmarkSimRun's ring8x8 case with span
+// recording enabled: the run owns a trace shard and records its
+// run/warmup/measure/drain phase spans. Phase spans are per-run (four End
+// calls per Run), so the delta against BenchmarkSimRun is the whole cost
+// of -trace on a measurement point (`make bench-obs`; BENCH_PR6.json).
+func BenchmarkSimRunTraced(b *testing.B) {
+	t := rec.MustGenerate(8)
+	tr := obs.NewTracer(1 << 14)
+	sh := tr.Shard("sim.bench")
+	cfg := sim.RunConfig{WarmupCycles: 500, MeasureCycles: 2000, DrainCycles: 4000, Trace: sh}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := sim.NewRing(t, sim.DefaultRingConfig())
+		src := traffic.NewInjector(8, 8, traffic.UniformRandom, 0.1, 128, 1)
+		res := sim.Run(net, src, cfg)
+		if res.PacketsDone == 0 {
+			b.Fatal("no packets delivered")
+		}
+	}
 }
 
 func BenchmarkDNNForward(b *testing.B) {

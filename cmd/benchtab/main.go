@@ -28,6 +28,8 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a metrics snapshot as JSON to this path at exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address while running")
 	eventsPath := flag.String("events", "", "write structured JSONL run events to this path")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the experiment run (load in Perfetto) to this path")
+	manifestPath := flag.String("manifest", "", "append a JSONL run-provenance manifest to this path")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "simulation points run in parallel per experiment (1 = sequential; reports are identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	flag.Parse()
@@ -55,7 +57,7 @@ func main() {
 	}
 
 	var reg *obs.Registry
-	if *metricsPath != "" || *debugAddr != "" {
+	if *metricsPath != "" || *debugAddr != "" || *manifestPath != "" {
 		reg = obs.NewRegistry()
 	}
 	var events *obs.Logger
@@ -65,17 +67,56 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		events = obs.NewLogger(f, obs.LevelDebug)
+		// Close flushes buffered events and closes the file on exit.
+		defer events.Close()
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" || *debugAddr != "" {
+		tracer = obs.NewTracer(1 << 16)
 	}
 	if *debugAddr != "" {
-		d, err := obs.StartDebug(*debugAddr, reg)
+		d, err := obs.StartDebug(*debugAddr, reg, tracer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}
 		defer d.Close()
 		fmt.Fprintf(os.Stderr, "benchtab: debug endpoint on http://%s\n", d.Addr)
+	}
+	var manifest *obs.Manifest
+	if *manifestPath != "" {
+		manifest = obs.NewManifest("benchtab")
+		manifest.Seed = *seed
+		manifest.Set("exp", *id)
+		manifest.Set("full", *full)
+		manifest.Set("jobs", *jobs)
+	}
+	// finishRun exports the trace (only after every experiment worker has
+	// quiesced) and appends the provenance manifest.
+	finishRun := func() {
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				os.Exit(1)
+			}
+			err = tracer.WriteTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab: write trace:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchtab: trace written to %s\n", *tracePath)
+		}
+		if manifest != nil {
+			manifest.Finish(reg)
+			if err := manifest.AppendFile(*manifestPath); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab: write manifest:", err)
+			}
+		}
 	}
 	writeMetrics := func() {
 		if *metricsPath == "" {
@@ -104,10 +145,11 @@ func main() {
 		}
 		stopProfile = stop
 	}
-	o := exp.Options{Quick: !*full, Seed: *seed, Workers: *jobs, Metrics: reg, Events: events}
+	o := exp.Options{Quick: !*full, Seed: *seed, Workers: *jobs, Metrics: reg, Events: events, Trace: tracer}
 	if *id == "all" {
 		rs := exp.All(o)
 		stopProfile()
+		finishRun()
 		for _, r := range rs {
 			fmt.Println(r)
 		}
@@ -116,6 +158,7 @@ func main() {
 	}
 	r, err := exp.ByID(*id, o)
 	stopProfile()
+	finishRun()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)

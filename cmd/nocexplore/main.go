@@ -45,11 +45,13 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address while running")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the search to this file (offline alternative to -debug-addr's /debug/pprof/)")
 	eventsPath := flag.String("events", "", "write structured JSONL run events to this path")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the search (load in Perfetto) to this path")
+	manifestPath := flag.String("manifest", "", "append a JSONL run-provenance manifest (config, seed, git rev, wall time, metrics) to this path")
 	progress := flag.Duration("progress", 10*time.Second, "interval between progress lines on stderr (0 = off)")
 	flag.Parse()
 
 	var reg *obs.Registry
-	if *metricsPath != "" || *debugAddr != "" {
+	if *metricsPath != "" || *debugAddr != "" || *manifestPath != "" {
 		reg = obs.NewRegistry()
 	}
 	var events *obs.Logger
@@ -59,11 +61,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "nocexplore:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		events = obs.NewLogger(f, obs.LevelDebug)
+		// Close flushes buffered events and the file even on the os.Exit
+		// paths below (which skip defers), so it is also called explicitly
+		// before each of them.
+		defer events.Close()
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" || *debugAddr != "" {
+		tracer = obs.NewTracer(1 << 16)
 	}
 	if *debugAddr != "" {
-		d, err := obs.StartDebug(*debugAddr, reg)
+		d, err := obs.StartDebug(*debugAddr, reg, tracer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nocexplore:", err)
 			os.Exit(1)
@@ -106,6 +115,23 @@ func main() {
 
 	cfg.Metrics = reg
 	cfg.Events = events
+	cfg.Trace = tracer
+
+	var manifest *obs.Manifest
+	if *manifestPath != "" {
+		manifest = obs.NewManifest("nocexplore")
+		manifest.Seed = *seed
+		manifest.Set("n", *n)
+		manifest.Set("cap", overlap)
+		manifest.Set("episodes", *episodes)
+		manifest.Set("threads", *threads)
+		manifest.Set("infer_batch", *inferBatch)
+		manifest.Set("epsilon", *epsilon)
+		manifest.Set("cpuct", *cpuct)
+		manifest.Set("lr", *lr)
+		manifest.Set("use_dnn", cfg.UseDNN)
+		manifest.Set("use_mcts", cfg.UseMCTS)
+	}
 
 	s, err := drl.New(cfg)
 	if err != nil {
@@ -126,6 +152,9 @@ func main() {
 					ep, valid := s.Progress()
 					fmt.Fprintf(os.Stderr, "nocexplore: progress %d/%d episodes, %d valid designs\n",
 						ep, *episodes, valid)
+					if line := tracer.SummaryLine(4); line != "" {
+						fmt.Fprintf(os.Stderr, "nocexplore: %s\n", line)
+					}
 				}
 			}
 		}()
@@ -146,6 +175,36 @@ func main() {
 	stopProfile()
 	if *cpuProfile != "" {
 		fmt.Fprintf(os.Stderr, "nocexplore: cpu profile written to %s\n", *cpuProfile)
+	}
+
+	// The trace is exported only after Run returns, when every worker
+	// shard has quiesced (WriteTrace's safety requirement).
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocexplore:", err)
+			os.Exit(1)
+		}
+		err = tracer.WriteTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocexplore: write trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "nocexplore: trace written to %s\n", *tracePath)
+	}
+	if tracer != nil && *progress > 0 {
+		if table := tracer.AggregateTable(); table != "" {
+			fmt.Fprint(os.Stderr, table)
+		}
+	}
+	if manifest != nil {
+		manifest.Finish(reg)
+		if err := manifest.AppendFile(*manifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, "nocexplore: write manifest:", err)
+		}
 	}
 
 	writeMetrics := func() {
@@ -188,6 +247,7 @@ func main() {
 	writeMetrics()
 	if len(res.Valid) == 0 {
 		fmt.Println("no fully connected design found; increase -episodes or relax -cap")
+		events.Close() // os.Exit skips the deferred Close
 		os.Exit(2)
 	}
 	hops := make([]float64, len(res.Valid))

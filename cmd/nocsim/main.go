@@ -42,13 +42,15 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a metrics snapshot as JSON to this path at exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address while running")
 	eventsPath := flag.String("events", "", "write structured JSONL run events to this path")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run (load in Perfetto) to this path")
+	manifestPath := flag.String("manifest", "", "append a JSONL run-provenance manifest to this path")
 	progress := flag.Int("progress", 0, "print a progress line to stderr every N simulated cycles (0 = off)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "sweep points simulated in parallel (1 = sequential; output is identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	flag.Parse()
 
 	var reg *obs.Registry
-	if *metricsPath != "" || *debugAddr != "" {
+	if *metricsPath != "" || *debugAddr != "" || *manifestPath != "" {
 		reg = obs.NewRegistry()
 	}
 	var events *obs.Logger
@@ -57,16 +59,58 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		events = obs.NewLogger(f, obs.LevelDebug)
+		// Flushes buffered events and closes the file on normal exit;
+		// fatal() paths lose at most buffered debug events.
+		defer events.Close()
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" || *debugAddr != "" {
+		tracer = obs.NewTracer(1 << 16)
 	}
 	if *debugAddr != "" {
-		d, err := obs.StartDebug(*debugAddr, reg)
+		d, err := obs.StartDebug(*debugAddr, reg, tracer)
 		if err != nil {
 			fatal(err)
 		}
 		defer d.Close()
 		fmt.Fprintf(os.Stderr, "nocsim: debug endpoint on http://%s\n", d.Addr)
+	}
+	var manifest *obs.Manifest
+	if *manifestPath != "" {
+		manifest = obs.NewManifest("nocsim")
+		manifest.Seed = *seed
+		manifest.Set("topo", *topoPath)
+		manifest.Set("mesh", *meshN)
+		manifest.Set("pattern", *pattern)
+		manifest.Set("app", *app)
+		manifest.Set("rates", *rates)
+		manifest.Set("warmup", *warmup)
+		manifest.Set("measure", *measure)
+	}
+	// finishRun writes the trace and manifest once simulation is done (the
+	// trace only after all sweep workers have quiesced).
+	finishRun := func() {
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			err = tracer.WriteTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "nocsim: trace written to %s\n", *tracePath)
+		}
+		if manifest != nil {
+			manifest.Finish(reg)
+			if err := manifest.AppendFile(*manifestPath); err != nil {
+				fatal(err)
+			}
+		}
 	}
 
 	var mk func() sim.Network
@@ -146,9 +190,11 @@ func main() {
 		}
 		src := traffic.NewAppInjector(profile, rows, cols, linkBits, *seed)
 		cfg.OnInterval = progressFn("")
+		cfg.Trace = tracer.Shard("sim.main")
 		res := sim.Run(mk(), src, cfg)
 		stopProfile()
 		fmt.Printf("app=%s %v\n", profile.Name, res)
+		finishRun()
 		writeMetrics()
 		return
 	}
@@ -169,14 +215,16 @@ func main() {
 	// injector with the same seed), so fan them across -j workers; results
 	// land by rate index and are printed/logged in order afterwards, so
 	// stdout and the events JSONL are identical at any -j.
-	results := exp.RunParallel(len(rateList), *jobs, reg, func(i int) sim.Result {
+	results := exp.RunParallelTraced(len(rateList), *jobs, reg, tracer, func(i int, sh *obs.TraceShard) sim.Result {
 		r := rateList[i]
 		c := cfg
 		c.OnInterval = progressFn(fmt.Sprintf("rate=%.4f ", r))
+		c.Trace = sh
 		src := traffic.NewInjector(rows, cols, p, r, linkBits, *seed)
 		return sim.Run(mk(), src, c)
 	})
 	stopProfile()
+	finishRun()
 	var points []sim.SweepPoint
 	fmt.Printf("%-10s %-10s %-12s %-10s %s\n", "rate", "latency", "throughput", "hops", "flags")
 	for i, res := range results {
@@ -185,6 +233,8 @@ func main() {
 		events.Info(obs.EventSweepPoint, map[string]any{
 			"rate":        r,
 			"avg_latency": res.AvgLatency,
+			"p50_latency": res.LatencyP50,
+			"p95_latency": res.LatencyP95,
 			"p99_latency": res.LatencyP99,
 			"throughput":  res.Throughput,
 			"avg_hops":    res.AvgHops,

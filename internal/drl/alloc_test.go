@@ -3,6 +3,8 @@ package drl
 import (
 	"math/rand"
 	"testing"
+
+	"routerless/internal/obs"
 )
 
 // TestEpisodeAllocBudget pins the episode arena contract: a warmed-up
@@ -35,4 +37,45 @@ func TestEpisodeAllocBudget(t *testing.T) {
 	if allocs > budget {
 		t.Fatalf("warmed-up episode allocates %.1f times, budget %d", allocs, budget)
 	}
+}
+
+// TestEpisodeAllocBudgetWithTracing pins the tracing side of the episode
+// contract, both halves of obs's zero-cost invariant:
+//
+//   - disabled (the default above): the arena's trace shard is nil, every
+//     Start/End in the episode path is a single pointer check, and the
+//     budget is identical to the uninstrumented one — the alloc count must
+//     not move at all when the span calls are reached with a nil shard;
+//   - enabled: a live shard records episode/MCTS spans into its ring, and
+//     because Span is a value type and the ring is preallocated, the same
+//     budget still holds.
+func TestEpisodeAllocBudgetWithTracing(t *testing.T) {
+	const budget = 60
+	run := func(t *testing.T, tr *obs.Tracer) float64 {
+		t.Helper()
+		cfg := DefaultConfig(6, 10)
+		cfg.UseDNN = false
+		cfg.UseMCTS = false
+		cfg.Trace = tr
+		s := MustNew(cfg)
+		rng := rand.New(rand.NewSource(5))
+		ar := s.newArena()
+		ar.trace = tr.Shard("drl.worker.00") // nil tracer -> nil shard
+		for i := 0; i < 5; i++ {
+			s.runEpisode(nil, rng, cfg.GuidedActions, ar)
+		}
+		return testing.AllocsPerRun(20, func() {
+			s.runEpisode(nil, rng, cfg.GuidedActions, ar)
+		})
+	}
+	t.Run("disabled", func(t *testing.T) {
+		if allocs := run(t, nil); allocs > budget {
+			t.Fatalf("episode with nil tracer allocates %.1f times, budget %d", allocs, budget)
+		}
+	})
+	t.Run("enabled", func(t *testing.T) {
+		if allocs := run(t, obs.NewTracer(1<<14)); allocs > budget {
+			t.Fatalf("episode with live tracer allocates %.1f times, budget %d", allocs, budget)
+		}
+	})
 }

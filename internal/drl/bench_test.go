@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"routerless/internal/nn"
+	"routerless/internal/obs"
 )
 
 // BenchmarkDRLEpisode measures one full exploration cycle (Fig. 4): the
@@ -23,6 +24,31 @@ func BenchmarkDRLEpisode(b *testing.B) {
 			net := nn.NewPolicyValueNet(cfg.NN, cfg.Seed)
 			rng := rand.New(rand.NewSource(7))
 			ar := s.newArena()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.runEpisode(net, rng, cfg.GuidedActions, ar)
+			}
+		})
+	}
+}
+
+// BenchmarkDRLEpisodeTraced is BenchmarkDRLEpisode with span recording
+// enabled: the worker owns a trace shard and every episode records its
+// episode/MCTS/forward spans into the ring. The delta against
+// BenchmarkDRLEpisode is the whole cost of -trace on the search hot path
+// (`make bench-obs` compares both; BENCH_PR6.json records the numbers).
+func BenchmarkDRLEpisodeTraced(b *testing.B) {
+	for _, n := range []int{8, 10} {
+		b.Run(strconv.Itoa(n)+"x"+strconv.Itoa(n), func(b *testing.B) {
+			cfg := DefaultConfig(n, 2*(n-1))
+			cfg.NN = nn.Config{N: n, BaseChannels: 2, Pools: 2}
+			cfg.Trace = obs.NewTracer(1 << 14)
+			s := MustNew(cfg)
+			net := nn.NewPolicyValueNet(cfg.NN, cfg.Seed)
+			rng := rand.New(rand.NewSource(7))
+			ar := s.newArena()
+			ar.trace = cfg.Trace.Shard("drl.worker.00")
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -89,6 +89,12 @@ type Config struct {
 	// run_stop at info level plus one episode event per exploration cycle
 	// at debug level.
 	Events *obs.Logger
+	// Trace, when non-nil, records hierarchical spans: drl.run on the Run
+	// goroutine, and per worker one track of drl.episode spans containing
+	// mcts.select / mcts.expand / mcts.backup / drl.train plus the
+	// inference spans (infer.submit or nn.forward). A nil tracer costs one
+	// nil check per span site and zero allocation.
+	Trace *obs.Tracer
 }
 
 // DefaultConfig returns a balanced configuration for an n×n search under
@@ -221,6 +227,8 @@ func (s *Searcher) Run() *Result {
 		"use_dnn":  s.cfg.UseDNN,
 		"use_mcts": s.cfg.UseMCTS,
 	})
+	run := s.cfg.Trace.Shard("drl.run").Start(obs.SpanSearchRun)
+	defer run.End()
 	if s.cfg.UseDNN && s.cfg.InferBatch > 0 {
 		stop := s.startBroker()
 		defer stop()
@@ -271,6 +279,7 @@ func (s *Searcher) startBroker() func() {
 		Batch:     s.cfg.InferBatch,
 		CacheSize: s.cfg.InferCacheSize,
 		Metrics:   s.cfg.Metrics,
+		Trace:     s.cfg.Trace,
 	})
 	s.mu.Lock()
 	s.broker = br
@@ -326,12 +335,15 @@ func (s *Searcher) worker(tid, episodes int) {
 	}
 	a2c := rl.A2C{Gamma: s.cfg.Gamma, ValueCoeff: 0.5}
 	ar := s.newArena()
+	// One trace shard per worker goroutine (the ownership rule): all of
+	// this worker's spans land on one track.
+	ar.trace = s.cfg.Trace.Shard(fmt.Sprintf("drl.worker.%02d", tid))
 	// Metric handles are resolved once per worker; all of them are no-ops
 	// when the search runs without a registry.
 	reg := s.cfg.Metrics
 	epCounter := reg.Counter(fmt.Sprintf("drl.worker.%02d.episodes", tid))
 	rewardGauge := reg.Gauge("drl.episode_reward")
-	rewardHist := reg.Histogram("drl.episode_reward_hist", rewardBuckets())
+	rewardHist := reg.Histogram("drl.episode_reward_hist")
 	mseGauge := reg.Gauge("drl.value_mse")
 	validCounter := reg.Counter("drl.valid_designs")
 	treeGauge := reg.Gauge("drl.tree_size")
@@ -341,6 +353,7 @@ func (s *Searcher) worker(tid, episodes int) {
 	// to the configured value, recovering exploration breadth.
 	guided := s.cfg.GuidedActions
 	for ep := 0; ep < episodes; ep++ {
+		epSpan := ar.trace.Start(obs.SpanEpisode)
 		traj, path, design := s.runEpisode(net, rng, guided, ar)
 		if design == nil {
 			if guided > 1 {
@@ -362,11 +375,14 @@ func (s *Searcher) worker(tid, episodes int) {
 			returns[i] = g
 		}
 		if s.cfg.UseMCTS {
+			bk := ar.trace.Start(obs.SpanMCTSBackup)
 			s.tree.Backup(path, returns)
+			bk.End()
 		}
 
 		mse := 0.0
 		if net != nil {
+			tr := ar.trace.Start(obs.SpanTrain)
 			net.ZeroGrads()
 			mse = a2c.Accumulate(net, traj)
 			net.CopyGradsInto(grads)
@@ -382,6 +398,7 @@ func (s *Searcher) worker(tid, episodes int) {
 				net.CopyStatsInto(stats)
 				s.broker.Sync(weights, stats)
 			}
+			tr.End()
 		}
 
 		s.mu.Lock()
@@ -429,13 +446,8 @@ func (s *Searcher) worker(tid, episodes int) {
 			}
 			s.cfg.Events.Debug(obs.EventEpisode, fields)
 		}
+		epSpan.End()
 	}
-}
-
-// rewardBuckets spans the final-reward range: large negative penalties for
-// incomplete designs through small positive hop-improvement rewards.
-func rewardBuckets() []float64 {
-	return []float64{-1000, -300, -100, -30, -10, -3, -1, 0, 1, 3, 10, 30}
 }
 
 // episodeArena is one worker's reusable episode state. Every buffer an
@@ -458,6 +470,9 @@ type episodeArena struct {
 	// priors holds the prior weight of each legal action, aligned with the
 	// slice LegalActions returned.
 	priors []float64
+	// trace is the worker's span recorder (nil when tracing is off); owned
+	// by the worker goroutine like every other arena buffer.
+	trace *obs.TraceShard
 }
 
 // newArena builds a worker's arena with a configured environment.
@@ -515,7 +530,7 @@ func (s *Searcher) runEpisode(net *nn.PolicyValueNet, rng *rand.Rand, guided int
 		case first && net != nil:
 			// The DNN proposes the initial action raw (Fig. 4); it may
 			// be penalized, teaching constraint compliance.
-			a, ok = s.sampleRaw(net, fp, state, rng), true
+			a, ok = s.sampleRaw(net, fp, state, rng, ar.trace), true
 		default:
 			a, ok = s.chooseAction(net, env, fp, state, rng, ar)
 		}
@@ -568,7 +583,10 @@ func (s *Searcher) chooseAction(net *nn.PolicyValueNet, env *rl.Env, fp string, 
 		return rl.Action{}, false
 	}
 	if s.cfg.UseMCTS {
-		if a, ok := s.tree.Select(fp); ok {
+		sel := ar.trace.Start(obs.SpanMCTSSelect)
+		a, ok := s.tree.Select(fp)
+		sel.End()
+		if ok {
 			// Selected edges can be stale (the cap may forbid them now);
 			// verify and fall through to expansion if unplayable.
 			if env.Legal(a) {
@@ -576,14 +594,17 @@ func (s *Searcher) chooseAction(net *nn.PolicyValueNet, env *rl.Env, fp string, 
 			}
 		}
 	}
+	ex := ar.trace.Start(obs.SpanMCTSExpand)
 	legal := env.LegalActions()
 	if len(legal) == 0 {
+		ex.End()
 		return rl.Action{}, false
 	}
 	priors := s.priorsInto(net, fp, state, legal, ar)
 	if s.cfg.UseMCTS {
 		s.tree.Expand(fp, legal, priors)
 	}
+	ex.End()
 	return samplePriors(legal, priors, rng), true
 }
 
@@ -593,12 +614,16 @@ func (s *Searcher) chooseAction(net *nn.PolicyValueNet, env *rl.Env, fp string, 
 // forward and share cached evaluations keyed by the canonical topology
 // fingerprint — or via the worker's own network on the legacy path. Both
 // paths are byte-identical for equal weights and running statistics.
-func (s *Searcher) policyEval(net *nn.PolicyValueNet, fp string, state []float64) (probs *[4][]float64, dir float64) {
+func (s *Searcher) policyEval(net *nn.PolicyValueNet, fp string, state []float64, sh *obs.TraceShard) (probs *[4][]float64, dir float64) {
 	if s.broker != nil {
+		sub := sh.Start(obs.SpanInferSubmit)
 		ev := s.broker.Submit(fp, state)
+		sub.End()
 		return &ev.CoordProbs, ev.Dir
 	}
+	fw := sh.Start(obs.SpanNNForward)
 	out := net.Forward(state, false)
+	fw.End()
 	return &out.CoordProbs, out.Dir
 }
 
@@ -617,7 +642,7 @@ func (s *Searcher) priorsInto(net *nn.PolicyValueNet, fp string, state []float64
 		}
 		return priors
 	}
-	probs, dir := s.policyEval(net, fp, state)
+	probs, dir := s.policyEval(net, fp, state, ar.trace)
 	pcw := (1 + dir) / 2
 	for i, a := range legal {
 		p := probs[0][a.X1] * probs[1][a.Y1] *
@@ -634,8 +659,8 @@ func (s *Searcher) priorsInto(net *nn.PolicyValueNet, fp string, state []float64
 
 // sampleRaw draws an action directly from the DNN output heads, the
 // paper's raw policy sample for the episode's initial action.
-func (s *Searcher) sampleRaw(net *nn.PolicyValueNet, fp string, state []float64, rng *rand.Rand) rl.Action {
-	probs, dirPCW := s.policyEval(net, fp, state)
+func (s *Searcher) sampleRaw(net *nn.PolicyValueNet, fp string, state []float64, rng *rand.Rand, sh *obs.TraceShard) rl.Action {
+	probs, dirPCW := s.policyEval(net, fp, state, sh)
 	pick := func(probs []float64) int {
 		r := rng.Float64()
 		acc := 0.0

@@ -39,12 +39,18 @@ type Options struct {
 	// observe the long-running search phases.
 	Metrics *obs.Registry
 	Events  *obs.Logger
+	// Trace, when non-nil, records exp.point spans (one per experiment
+	// point on the parallel harness) and is threaded into the DRL searches
+	// the experiments run, so benchtab's -trace flag covers the search,
+	// inference, and simulation phases.
+	Trace *obs.Tracer
 }
 
 // instrument attaches the options' telemetry sinks to a search config.
 func (o Options) instrument(cfg *drl.Config) {
 	cfg.Metrics = o.Metrics
 	cfg.Events = o.Events
+	cfg.Trace = o.Trace
 }
 
 // Report is one regenerated artifact.

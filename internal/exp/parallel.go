@@ -34,6 +34,14 @@ func (o Options) jobs() int {
 // Each worker counts completed points into the registry's
 // "exp.worker.<w>.points" counter; reg may be nil.
 func RunParallel[T any](n, j int, reg *obs.Registry, fn func(i int) T) []T {
+	return RunParallelTraced(n, j, reg, nil, func(i int, _ *obs.TraceShard) T { return fn(i) })
+}
+
+// RunParallelTraced is RunParallel with span recording: each worker owns
+// one trace shard ("exp.worker.<w>") and every point is wrapped in an
+// exp.point span. fn receives the worker's shard so the point's inner
+// phases (e.g. sim.Run via RunConfig.Trace) nest under it. tr may be nil.
+func RunParallelTraced[T any](n, j int, reg *obs.Registry, tr *obs.Tracer, fn func(i int, sh *obs.TraceShard) T) []T {
 	out := make([]T, n)
 	if n == 0 {
 		return out
@@ -43,8 +51,11 @@ func RunParallel[T any](n, j int, reg *obs.Registry, fn func(i int) T) []T {
 	}
 	if j <= 1 {
 		c := reg.Counter("exp.worker.0.points")
+		sh := tr.Shard("exp.worker.0")
 		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+			sp := sh.Start(obs.SpanExpPoint)
+			out[i] = fn(i, sh)
+			sp.End()
 			c.Inc()
 		}
 		return out
@@ -56,12 +67,15 @@ func RunParallel[T any](n, j int, reg *obs.Registry, fn func(i int) T) []T {
 		go func(w int) {
 			defer wg.Done()
 			c := reg.Counter(fmt.Sprintf("exp.worker.%d.points", w))
+			sh := tr.Shard(fmt.Sprintf("exp.worker.%d", w))
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i] = fn(i)
+				sp := sh.Start(obs.SpanExpPoint)
+				out[i] = fn(i, sh)
+				sp.End()
 				c.Inc()
 			}
 		}(w)
@@ -74,7 +88,8 @@ func RunParallel[T any](n, j int, reg *obs.Registry, fn func(i int) T) []T {
 // worker pool, preserving input order. The figure/table generators use
 // it to fan their cells out while keeping row order deterministic.
 func runAll(o Options, jobs []func() sim.Result) []sim.Result {
-	return RunParallel(len(jobs), o.jobs(), o.Metrics, func(i int) sim.Result { return jobs[i]() })
+	return RunParallelTraced(len(jobs), o.jobs(), o.Metrics, o.Trace,
+		func(i int, _ *obs.TraceShard) sim.Result { return jobs[i]() })
 }
 
 // sweepState carries Sweep's stop conditions so the sequential and

@@ -57,6 +57,11 @@ type Config struct {
 	// histograms, cache hit/miss/evict/invalidation counters). When nil the
 	// broker keeps a private registry so Stats() still works.
 	Metrics *obs.Registry
+	// Trace, when non-nil, records broker spans: infer.batch_assemble and
+	// infer.forward_batch on the evaluation-goroutine track, plus
+	// retroactive infer.queue_wait spans (one per request, measured from
+	// enqueue to batch pickup) on a dedicated "infer.queue" track.
+	Trace *obs.Tracer
 }
 
 // defaultCacheSize bounds the default cache at a few hundred KiB of Evals.
@@ -99,6 +104,12 @@ type Broker struct {
 	evaluated, batches                *obs.Counter
 	evictions, invalidations          *obs.Counter
 	occupancy, queueWait              *obs.Histogram
+
+	// tracer is kept for Now(); the two shards are owned by the evaluation
+	// goroutine exclusively once run starts (per-goroutine ownership rule).
+	tracer  *obs.Tracer
+	trace   *obs.TraceShard // "infer.broker": batch assemble + forward spans
+	queueTr *obs.TraceShard // "infer.queue": retroactive queue-wait spans
 }
 
 // New starts a broker and its evaluation goroutine. The evaluator's arena
@@ -139,23 +150,17 @@ func New(cfg Config) *Broker {
 		batches:       reg.Counter("infer.batches"),
 		evictions:     reg.Counter("infer.cache_evictions"),
 		invalidations: reg.Counter("infer.cache_invalidations"),
-		occupancy:     reg.Histogram("infer.batch_occupancy", occupancyBuckets()),
-		queueWait:     reg.Histogram("infer.queue_wait_us", queueWaitBuckets()),
+		occupancy:     reg.Histogram("infer.batch_occupancy"),
+		queueWait:     reg.Histogram("infer.queue_wait_us"),
+
+		tracer:  cfg.Trace,
+		trace:   cfg.Trace.Shard("infer.broker"),
+		queueTr: cfg.Trace.Shard("infer.queue"),
 	}
 	b.net.WarmBatch(b.bmax)
 	b.wg.Add(1)
 	go b.run()
 	return b
-}
-
-// occupancyBuckets covers batch fills from lone requests to large batches.
-func occupancyBuckets() []float64 {
-	return []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
-}
-
-// queueWaitBuckets covers request queue waits in microseconds.
-func queueWaitBuckets() []float64 {
-	return []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 20000}
 }
 
 // Submit evaluates (fp, state) and blocks until the result is available:
@@ -252,6 +257,7 @@ func (b *Broker) run() {
 		if !ok {
 			return
 		}
+		asm := b.trace.Start(obs.SpanInferBatchAssemble)
 		batch = append(batch[:0], r)
 		if b.flushWait > 0 && len(batch) < b.bmax {
 			if timer == nil {
@@ -291,6 +297,7 @@ func (b *Broker) run() {
 				}
 			}
 		}
+		asm.End()
 		b.evaluate(batch, states, outs)
 	}
 }
@@ -313,11 +320,18 @@ func (b *Broker) evaluate(batch []*request, states [][]float64, outs []nn.Output
 
 	n := len(batch)
 	now := time.Now()
+	traceNow := b.tracer.Now()
 	for i, r := range batch {
 		states[i] = r.state
-		b.queueWait.Observe(float64(now.Sub(r.enq).Microseconds()))
+		wait := now.Sub(r.enq)
+		b.queueWait.Observe(float64(wait.Microseconds()))
+		// The wait started on the submitting goroutine, so it is recorded
+		// retroactively on the queue track rather than as a nested span.
+		b.queueTr.Record(obs.SpanInferQueueWait, traceNow-wait.Nanoseconds(), traceNow)
 	}
+	fw := b.trace.Start(obs.SpanInferForward)
 	b.net.ForwardBatch(states[:n], outs[:n])
+	fw.End()
 	b.batches.Inc()
 	b.evaluated.Add(int64(n))
 	b.occupancy.Observe(float64(n))

@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -14,6 +16,8 @@ import (
 //	/metrics       the registry snapshot as JSON
 //	/debug/vars    expvar (cmdline, memstats, plus published vars)
 //	/debug/pprof/  runtime profiles (CPU, heap, goroutine, ...)
+//	/debug/spans   aggregated self/total time per span kind (text;
+//	               ?format=json for the raw rows) when a tracer is wired
 type DebugServer struct {
 	// Addr is the bound address (useful with ":0").
 	Addr string
@@ -23,9 +27,9 @@ type DebugServer struct {
 }
 
 // StartDebug binds addr and serves the debug endpoints in a background
-// goroutine until Close. reg may be nil (the /metrics endpoint then serves
-// an empty snapshot).
-func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
+// goroutine until Close. reg and tr may be nil (/metrics then serves an
+// empty snapshot and /debug/spans an empty table).
+func StartDebug(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
@@ -34,6 +38,19 @@ func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			stats := tr.Aggregate()
+			if stats == nil {
+				stats = []SpanStat{}
+			}
+			json.NewEncoder(w).Encode(stats)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, tr.AggregateTable())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

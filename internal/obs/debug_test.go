@@ -4,13 +4,18 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 )
 
 func TestDebugServerEndpoints(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("sim.flits_injected").Add(42)
-	d, err := StartDebug("127.0.0.1:0", r)
+	tr := NewTracer(256)
+	sh := tr.Shard("test")
+	sp := sh.Start(SpanSimRun)
+	sp.End()
+	d, err := StartDebug("127.0.0.1:0", r, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,10 +53,20 @@ func TestDebugServerEndpoints(t *testing.T) {
 	if len(get("/debug/pprof/")) == 0 {
 		t.Fatal("/debug/pprof/ empty")
 	}
+	if body := string(get("/debug/spans")); !strings.Contains(body, "sim.run") {
+		t.Fatalf("/debug/spans missing recorded span kind: %q", body)
+	}
+	var stats []SpanStat
+	if err := json.Unmarshal(get("/debug/spans?format=json"), &stats); err != nil {
+		t.Fatalf("/debug/spans?format=json not JSON: %v", err)
+	}
+	if len(stats) != 1 || stats[0].Kind != "sim.run" || stats[0].Count != 1 {
+		t.Fatalf("span stats = %+v", stats)
+	}
 }
 
 func TestDebugServerNilRegistryAndClose(t *testing.T) {
-	d, err := StartDebug("127.0.0.1:0", nil)
+	d, err := StartDebug("127.0.0.1:0", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,6 +78,15 @@ func TestDebugServerNilRegistryAndClose(t *testing.T) {
 	resp.Body.Close()
 	if !json.Valid(body) {
 		t.Fatalf("nil-registry /metrics not JSON: %s", body)
+	}
+	resp, err = http.Get("http://" + d.Addr + "/debug/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("nil-tracer /debug/spans status %d", resp.StatusCode)
 	}
 	if err := d.Close(); err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 	"sync"
@@ -67,11 +68,19 @@ func (e Event) MarshalJSON() ([]byte, error) {
 // nop logger: every method returns immediately, so instrumented code can
 // log unconditionally. Writes are serialized by an internal mutex, making
 // one Logger safe to share across learner goroutines.
+//
+// High-volume Debug events are buffered (32 KiB) to keep per-episode and
+// per-interval logging off the syscall path; Info and Warn events flush
+// the buffer, so lifecycle milestones like run_stop always reach the file
+// immediately. Call Close (or at least Flush) when the run stops so
+// trailing Debug events are never lost — all three CLIs do.
 type Logger struct {
-	mu  sync.Mutex
-	w   io.Writer
-	min Level
-	now func() time.Time // overridable for tests
+	mu     sync.Mutex
+	buf    *bufio.Writer
+	under  io.Writer
+	min    Level
+	closed bool
+	now    func() time.Time // overridable for tests
 }
 
 // NewLogger builds a logger writing events at or above min to w. A nil w
@@ -80,7 +89,7 @@ func NewLogger(w io.Writer, min Level) *Logger {
 	if w == nil {
 		return nil
 	}
-	return &Logger{w: w, min: min, now: time.Now}
+	return &Logger{buf: bufio.NewWriterSize(w, 32<<10), under: w, min: min, now: time.Now}
 }
 
 // Enabled reports whether events at level lv would be written; use it to
@@ -102,7 +111,48 @@ func (l *Logger) Log(lv Level, kind string, fields map[string]any) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.w.Write(append(data, '\n'))
+	if l.closed {
+		return
+	}
+	l.buf.Write(append(data, '\n'))
+	if lv >= LevelInfo {
+		l.buf.Flush()
+	}
+}
+
+// Flush forces buffered events to the underlying writer. Nil-safe and
+// idempotent.
+func (l *Logger) Flush() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.buf.Flush()
+	}
+}
+
+// Close flushes buffered events and, when the underlying writer is an
+// io.Closer (e.g. the CLI's *os.File), closes it. Further Log calls are
+// dropped. Nil-safe and idempotent.
+func (l *Logger) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := l.buf.Flush()
+	if c, ok := l.under.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Info logs at LevelInfo.

@@ -17,8 +17,53 @@ func TestNopLoggerIsSafe(t *testing.T) {
 	l.Info(EventRunStart, map[string]any{"x": 1})
 	l.Debug(EventEpisode, nil)
 	l.Warn("anything", nil)
+	l.Flush()
+	if err := l.Close(); err != nil {
+		t.Fatal("nil logger Close must be a no-op")
+	}
 	if got := NewLogger(nil, LevelDebug); got != nil {
 		t.Fatal("NewLogger(nil, ...) must return the nop logger")
+	}
+}
+
+// closeRecorder counts Close calls to verify Close is idempotent and
+// reaches the underlying writer.
+type closeRecorder struct {
+	bytes.Buffer
+	closes int
+}
+
+func (c *closeRecorder) Close() error { c.closes++; return nil }
+
+func TestLoggerFlushAndCloseSemantics(t *testing.T) {
+	var cr closeRecorder
+	l := NewLogger(&cr, LevelDebug)
+	l.Debug(EventEpisode, map[string]any{"i": 1})
+	if cr.Len() != 0 {
+		t.Fatal("debug event should be buffered, not written")
+	}
+	l.Info(EventRunStop, nil)
+	if cr.Len() == 0 {
+		t.Fatal("info event must flush the buffer")
+	}
+	before := cr.Len()
+	l.Debug(EventEpisode, map[string]any{"i": 2})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Len() <= before {
+		t.Fatal("Close must flush trailing buffered events")
+	}
+	if cr.closes != 1 {
+		t.Fatalf("underlying Close called %d times, want 1", cr.closes)
+	}
+	l.Debug(EventEpisode, nil) // dropped after Close
+	l.Flush()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cr.closes != 1 {
+		t.Fatalf("Close not idempotent: %d underlying closes", cr.closes)
 	}
 }
 
@@ -28,6 +73,7 @@ func TestLoggerWritesJSONL(t *testing.T) {
 	l.now = func() time.Time { return time.Unix(1700000000, 0) }
 	l.Info(EventRunStart, map[string]any{"nodes": 64, "pattern": "uniform_random"})
 	l.Debug(EventEpisode, map[string]any{"episode": 1, "reward": -2.5})
+	l.Flush() // Debug events are buffered until a Flush/Close or an Info event
 
 	sc := bufio.NewScanner(&buf)
 	var lines []map[string]any
@@ -59,6 +105,7 @@ func TestLoggerLevelFiltering(t *testing.T) {
 	var buf bytes.Buffer
 	l := NewLogger(&buf, LevelInfo)
 	l.Debug(EventInterval, nil)
+	l.Flush()
 	if buf.Len() != 0 {
 		t.Fatal("debug event written despite info level")
 	}
@@ -85,6 +132,7 @@ func TestLoggerConcurrentWritesStayLineAtomic(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+	l.Flush()
 	sc := bufio.NewScanner(&buf)
 	n := 0
 	for sc.Scan() {

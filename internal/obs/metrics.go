@@ -1,7 +1,9 @@
 // Package obs is the observability layer shared by the simulator, the DRL
 // search, and the CLIs: a concurrency-safe metrics registry (counters,
-// gauges, fixed-bucket histograms), a structured JSONL event logger, and
-// an optional debug HTTP endpoint (expvar + pprof). It is stdlib-only.
+// gauges, log-scaled histograms), a structured JSONL event logger, a
+// per-goroutine span tracer with Chrome trace export, run manifests, and
+// an optional debug HTTP endpoint (expvar + pprof + spans). It is
+// stdlib-only.
 //
 // Every type is nil-safe: a nil *Registry hands out nil metrics, and every
 // metric method on a nil receiver is a no-op. Instrumented code therefore
@@ -13,10 +15,8 @@ package obs
 import (
 	"encoding/json"
 	"expvar"
-	"fmt"
 	"io"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -80,105 +80,6 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Histogram counts observations into fixed buckets. Buckets are defined by
-// ascending upper bounds; an implicit +Inf bucket catches the overflow.
-// Observe is lock-free: a binary search over the bounds plus two atomic
-// adds.
-type Histogram struct {
-	bounds []float64      // ascending upper bounds (each bucket: v <= bound)
-	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
-	count  atomic.Int64
-	sum    Gauge
-}
-
-// Observe records one sample.
-func (h *Histogram) Observe(v float64) {
-	if h == nil {
-		return
-	}
-	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
-	h.counts[i].Add(1)
-	h.count.Add(1)
-	h.sum.Add(v)
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() int64 {
-	if h == nil {
-		return 0
-	}
-	return h.count.Load()
-}
-
-// Sum returns the sum of all observed values.
-func (h *Histogram) Sum() float64 {
-	if h == nil {
-		return 0
-	}
-	return h.sum.Value()
-}
-
-// Bucket is one histogram bucket in a snapshot. UpperBound is +Inf for the
-// overflow bucket (serialized as the string "+Inf").
-type Bucket struct {
-	UpperBound float64 `json:"le"`
-	Count      int64   `json:"count"`
-}
-
-// MarshalJSON renders +Inf as a string, since JSON has no infinity.
-func (b Bucket) MarshalJSON() ([]byte, error) {
-	le := "+Inf"
-	if !math.IsInf(b.UpperBound, 1) {
-		le = fmt.Sprintf("%g", b.UpperBound)
-	}
-	return json.Marshal(struct {
-		Le    string `json:"le"`
-		Count int64  `json:"count"`
-	}{le, b.Count})
-}
-
-// HistogramSnapshot is a point-in-time copy of a histogram.
-type HistogramSnapshot struct {
-	Count   int64    `json:"count"`
-	Sum     float64  `json:"sum"`
-	Buckets []Bucket `json:"buckets"`
-}
-
-// Mean returns the mean of the observations (0 when empty).
-func (h HistogramSnapshot) Mean() float64 {
-	if h.Count == 0 {
-		return 0
-	}
-	return h.Sum / float64(h.Count)
-}
-
-// Quantile approximates the q-th quantile (0..1) by linear interpolation
-// within the bucket containing it; the overflow bucket reports its lower
-// bound. Returns 0 when the histogram is empty.
-func (h HistogramSnapshot) Quantile(q float64) float64 {
-	if h.Count == 0 || len(h.Buckets) == 0 {
-		return 0
-	}
-	rank := q * float64(h.Count)
-	acc := int64(0)
-	lower := 0.0
-	for _, b := range h.Buckets {
-		prev := acc
-		acc += b.Count
-		if float64(acc) >= rank {
-			if math.IsInf(b.UpperBound, 1) || b.Count == 0 {
-				return lower
-			}
-			frac := (rank - float64(prev)) / float64(b.Count)
-			return lower + frac*(b.UpperBound-lower)
-		}
-		if !math.IsInf(b.UpperBound, 1) {
-			lower = b.UpperBound
-		}
-	}
-	return lower
-}
-
 // Snapshot is a consistent-enough copy of a registry's metrics (each value
 // is read atomically; the set of metrics is read under the registry lock).
 type Snapshot struct {
@@ -238,10 +139,10 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// Histogram returns the named histogram, creating it with the given
-// ascending upper bounds on first use (later bounds are ignored — the
-// first creation wins). A nil registry returns a nil (no-op) histogram.
-func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+// Histogram returns the named histogram, creating it on first use. The
+// log-scaled layout needs no bucket configuration. A nil registry returns
+// a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
@@ -249,9 +150,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
-		bs := append([]float64(nil), bounds...)
-		sort.Float64s(bs)
-		h = &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+		h = NewHistogram()
 		r.histograms[name] = h
 	}
 	return h
@@ -277,19 +176,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.histograms {
-		hs := HistogramSnapshot{
-			Count:   h.Count(),
-			Sum:     h.Sum(),
-			Buckets: make([]Bucket, len(h.counts)),
-		}
-		for i := range h.counts {
-			ub := math.Inf(1)
-			if i < len(h.bounds) {
-				ub = h.bounds[i]
-			}
-			hs.Buckets[i] = Bucket{UpperBound: ub, Count: h.counts[i].Load()}
-		}
-		s.Histograms[name] = hs
+		s.Histograms[name] = h.SnapshotHist()
 	}
 	return s
 }
@@ -306,10 +193,4 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // it from a custom /debug/vars map.
 func (r *Registry) ExpvarVar() expvar.Var {
 	return expvar.Func(func() any { return r.Snapshot() })
-}
-
-// LatencyBuckets is the default bucket layout for packet-latency
-// histograms: roughly exponential from a few cycles to deep saturation.
-func LatencyBuckets() []float64 {
-	return []float64{5, 10, 20, 40, 80, 160, 320, 640, 1280, 2560, 5120, 10240}
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -32,14 +34,18 @@ func TestNilRegistryAndMetricsAreNops(t *testing.T) {
 	var r *Registry
 	c := r.Counter("x")
 	g := r.Gauge("y")
-	h := r.Histogram("z", []float64{1, 2})
+	h := r.Histogram("z")
 	c.Inc()
 	c.Add(7)
 	g.Set(1)
 	g.Add(2)
 	h.Observe(1.5)
+	h.Merge(NewHistogram())
 	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
 		t.Fatal("nil metrics must read as zero")
+	}
+	if hs := h.SnapshotHist(); hs.Count != 0 || len(hs.Buckets) != 0 {
+		t.Fatal("nil histogram snapshot must be empty")
 	}
 	s := r.Snapshot()
 	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
@@ -47,37 +53,140 @@ func TestNilRegistryAndMetricsAreNops(t *testing.T) {
 	}
 }
 
-func TestHistogramBucketsAndQuantile(t *testing.T) {
+func TestHistogramBucketsAndSum(t *testing.T) {
 	r := NewRegistry()
-	h := r.Histogram("lat", []float64{10, 20, 40})
-	for _, v := range []float64{1, 9, 10, 11, 25, 100} {
+	h := r.Histogram("lat")
+	vals := []float64{1, 9, 10, 11, 25, 100}
+	for _, v := range vals {
 		h.Observe(v)
 	}
 	s := r.Snapshot().Histograms["lat"]
-	if s.Count != 6 {
-		t.Fatalf("count = %d, want 6", s.Count)
+	if s.Count != int64(len(vals)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(vals))
 	}
 	if want := 1.0 + 9 + 10 + 11 + 25 + 100; s.Sum != want {
 		t.Fatalf("sum = %v, want %v", s.Sum, want)
 	}
-	counts := []int64{3, 1, 1, 1} // (<=10, <=20, <=40, +Inf)
-	for i, b := range s.Buckets {
-		if b.Count != counts[i] {
-			t.Fatalf("bucket %d = %d, want %d", i, b.Count, counts[i])
-		}
-	}
-	if !math.IsInf(s.Buckets[3].UpperBound, 1) {
-		t.Fatal("last bucket must be +Inf")
-	}
 	if got := s.Mean(); math.Abs(got-156.0/6) > 1e-12 {
 		t.Fatalf("mean = %v", got)
 	}
-	if q := s.Quantile(0.5); q <= 0 || q > 10 {
-		t.Fatalf("median = %v, want in (0, 10]", q)
+	// Every value must land in a bucket whose [Lo, Hi) range contains it,
+	// buckets must be ascending, and counts must add up.
+	var total int64
+	for i, b := range s.Buckets {
+		total += b.Count
+		if b.Hi < b.Lo {
+			t.Fatalf("bucket %d: hi %v < lo %v", i, b.Hi, b.Lo)
+		}
+		if i > 0 && b.Lo < s.Buckets[i-1].Hi-1e-12 {
+			t.Fatalf("buckets out of order at %d: %v after %v", i, b.Lo, s.Buckets[i-1].Hi)
+		}
 	}
-	if q := s.Quantile(1.0); q != 40 {
-		// The overflow bucket reports its lower bound.
-		t.Fatalf("q100 = %v, want 40", q)
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+	for _, v := range vals {
+		found := false
+		for _, b := range s.Buckets {
+			if v >= b.Lo && v < b.Hi {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("value %v not covered by any bucket", v)
+		}
+	}
+}
+
+// TestHistogramQuantileBoundedError is the accuracy contract the sim's
+// p50/p95/p99 reporting relies on: every quantile of a log-scaled
+// histogram is within the bucket relative width (1/32) of the exact
+// sample quantile.
+func TestHistogramQuantileBoundedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	vals := make([]float64, 20000)
+	for i := range vals {
+		// Log-uniform over ~5 decades plus a heavy tail, like saturated
+		// latency distributions.
+		v := math.Exp(rng.Float64()*11) * 0.05
+		vals[i] = v
+		h.Observe(v)
+	}
+	sort.Float64s(vals)
+	s := h.SnapshotHist()
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)-1))]
+		got := s.Quantile(q)
+		// One bucket width of slack on top of the 1/histSub contract for
+		// the sample-vs-interpolated rank difference at the tails.
+		if rel := math.Abs(got-exact) / exact; rel > 1.1/histSub {
+			t.Fatalf("q%v: got %v, exact %v, rel err %.4f > %.4f", q, got, exact, rel, 1.1/histSub)
+		}
+	}
+}
+
+func TestHistogramNegativeAndZero(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{-1000, -31.4, 0, 0, 5, 30} {
+		h.Observe(v)
+	}
+	s := h.SnapshotHist()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if got, want := s.Sum, -1000.0-31.4+5+30; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// Ascending order: negatives, then the zero bucket, then positives.
+	if s.Buckets[0].Hi > 0 {
+		t.Fatalf("first bucket should be negative: %+v", s.Buckets[0])
+	}
+	sawZero := false
+	for i, b := range s.Buckets {
+		if b.Lo == 0 && b.Hi == 0 {
+			sawZero = true
+			if b.Count != 2 {
+				t.Fatalf("zero bucket count = %d, want 2", b.Count)
+			}
+		}
+		if i > 0 && b.Lo < s.Buckets[i-1].Lo {
+			t.Fatalf("buckets not ascending at %d", i)
+		}
+	}
+	if !sawZero {
+		t.Fatal("zero bucket missing")
+	}
+	if q := s.Quantile(0.05); q > -900 {
+		t.Fatalf("q5 = %v, want near -1000", q)
+	}
+	if q := s.Quantile(0.99); q < 25 {
+		t.Fatalf("q99 = %v, want near 30", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 1; i <= 100; i++ {
+		a.Observe(float64(i))
+	}
+	for i := 101; i <= 200; i++ {
+		b.Observe(float64(i))
+	}
+	b.Observe(-3)
+	b.Observe(0)
+	a.Merge(b)
+	s := a.SnapshotHist()
+	if s.Count != 202 {
+		t.Fatalf("merged count = %d, want 202", s.Count)
+	}
+	want := float64(200*201)/2 - 3
+	if math.Abs(s.Sum-want) > 1e-9 {
+		t.Fatalf("merged sum = %v, want %v", s.Sum, want)
+	}
+	if q := s.Quantile(0.5); math.Abs(q-100)/100 > 2.0/histSub {
+		t.Fatalf("merged median = %v, want ~100", q)
 	}
 }
 
@@ -90,7 +199,7 @@ func TestRegistryConcurrentUse(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			c := r.Counter("n")
-			h := r.Histogram("h", []float64{0.5})
+			h := r.Histogram("h")
 			for i := 0; i < per; i++ {
 				c.Inc()
 				r.Gauge("g").Set(float64(i))
@@ -103,7 +212,7 @@ func TestRegistryConcurrentUse(t *testing.T) {
 	if got := r.Counter("n").Value(); got != workers*per {
 		t.Fatalf("counter = %d, want %d", got, workers*per)
 	}
-	if got := r.Histogram("h", nil).Count(); got != workers*per {
+	if got := r.Histogram("h").Count(); got != workers*per {
 		t.Fatalf("histogram count = %d, want %d", got, workers*per)
 	}
 }
@@ -112,7 +221,7 @@ func TestSnapshotJSONAndExpvar(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a").Add(2)
 	r.Gauge("b").Set(1.5)
-	r.Histogram("c", []float64{1}).Observe(3)
+	r.Histogram("c").Observe(3)
 
 	var buf bytes.Buffer
 	if err := r.WriteJSON(&buf); err != nil {
@@ -124,8 +233,9 @@ func TestSnapshotJSONAndExpvar(t *testing.T) {
 		Histograms map[string]struct {
 			Count   int64 `json:"count"`
 			Buckets []struct {
-				Le    string `json:"le"`
-				Count int64  `json:"count"`
+				Lo    float64 `json:"lo"`
+				Hi    float64 `json:"hi"`
+				Count int64   `json:"count"`
 			} `json:"buckets"`
 		} `json:"histograms"`
 	}
@@ -135,8 +245,9 @@ func TestSnapshotJSONAndExpvar(t *testing.T) {
 	if s.Counters["a"] != 2 || s.Gauges["b"] != 1.5 || s.Histograms["c"].Count != 1 {
 		t.Fatalf("snapshot mismatch: %s", buf.String())
 	}
-	if got := s.Histograms["c"].Buckets[1].Le; got != "+Inf" {
-		t.Fatalf("overflow bucket le = %q, want +Inf", got)
+	bs := s.Histograms["c"].Buckets
+	if len(bs) != 1 || bs[0].Count != 1 || !(bs[0].Lo <= 3 && 3 < bs[0].Hi) {
+		t.Fatalf("histogram buckets mismatch: %+v", bs)
 	}
 
 	ev := r.ExpvarVar().String()
@@ -146,4 +257,39 @@ func TestSnapshotJSONAndExpvar(t *testing.T) {
 	if !strings.Contains(ev, `"a":2`) {
 		t.Fatalf("expvar output missing counter: %s", ev)
 	}
+}
+
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	h := NewHistogram()
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(37.5) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v/op, want 0", n)
+	}
+}
+
+// BenchmarkHistogram measures the log-scaled histogram's hot operations:
+// Observe (per-packet on the sim stats path) and the quantile read taken
+// at run end. Observe must stay allocation-free and in the low-ns range
+// (`make bench-obs` gates it alongside the span benchmarks).
+func BenchmarkHistogram(b *testing.B) {
+	b.Run("observe", func(b *testing.B) {
+		h := NewHistogram()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i%1000) + 0.5)
+		}
+	})
+	b.Run("quantile", func(b *testing.B) {
+		h := NewHistogram()
+		for i := 0; i < 100000; i++ {
+			h.Observe(float64(i % 5000))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := h.SnapshotHist()
+			if q := s.Quantile(0.99); q <= 0 {
+				b.Fatal("bad quantile", q)
+			}
+		}
+	})
 }

@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixedClockTracer returns a tracer whose clock advances only when tick is
+// called, making span timestamps deterministic for golden tests.
+func fixedClockTracer(capPerShard int) (*Tracer, func(ns int64)) {
+	t := NewTracer(capPerShard)
+	var now int64
+	t.nowNS = func() int64 { return now }
+	return t, func(ns int64) { now += ns }
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	sh := tr.Shard("w0")
+	if sh != nil {
+		t.Fatal("nil tracer must hand out nil shards")
+	}
+	sp := sh.Start(SpanEpisode)
+	sp.End()
+	sh.Record(SpanInferQueueWait, 0, 10)
+	if tr.Now() != 0 {
+		t.Fatal("nil tracer Now must be 0")
+	}
+	if tr.Aggregate() != nil {
+		t.Fatal("nil tracer Aggregate must be nil")
+	}
+	if tr.AggregateTable() != "" || tr.SummaryLine(3) != "" {
+		t.Fatal("nil tracer tables must be empty")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("nil tracer trace not JSON: %s", buf.Bytes())
+	}
+}
+
+func TestSpanNestingSelfAndTotal(t *testing.T) {
+	tr, tick := fixedClockTracer(256)
+	sh := tr.Shard("w0")
+
+	ep := sh.Start(SpanEpisode) // t=0
+	tick(10)
+	sel := sh.Start(SpanMCTSSelect) // t=10
+	tick(30)
+	sel.End() // t=40, select total=self=30
+	tick(5)
+	ex := sh.Start(SpanMCTSExpand) // t=45
+	tick(20)
+	ex.End() // t=65, expand total=self=20
+	tick(15)
+	ep.End() // t=80, episode total=80, self=80-30-20=30
+
+	stats := tr.Aggregate()
+	byKind := map[string]SpanStat{}
+	for _, s := range stats {
+		byKind[s.Kind] = s
+	}
+	if s := byKind["drl.episode"]; s.Count != 1 || s.TotalNS != 80 || s.SelfNS != 30 {
+		t.Fatalf("episode agg = %+v", s)
+	}
+	if s := byKind["mcts.select"]; s.TotalNS != 30 || s.SelfNS != 30 {
+		t.Fatalf("select agg = %+v", s)
+	}
+	if s := byKind["mcts.expand"]; s.TotalNS != 20 || s.SelfNS != 20 {
+		t.Fatalf("expand agg = %+v", s)
+	}
+	if table := tr.AggregateTable(); !strings.Contains(table, "drl.episode") {
+		t.Fatalf("table missing kind:\n%s", table)
+	}
+	if line := tr.SummaryLine(2); !strings.HasPrefix(line, "spans(self): ") {
+		t.Fatalf("summary line = %q", line)
+	}
+}
+
+// TestWriteTraceGolden checks the Chrome trace export is well-formed and
+// that child spans nest strictly inside their parents on each track.
+func TestWriteTraceGolden(t *testing.T) {
+	tr, tick := fixedClockTracer(256)
+	sh := tr.Shard("drl.worker.00")
+
+	run := sh.Start(SpanEpisode)
+	tick(1000)
+	sel := sh.Start(SpanMCTSSelect)
+	tick(2000)
+	sel.End()
+	tick(500)
+	run.End()
+	sh.Record(SpanInferQueueWait, 100, 600)
+
+	qsh := tr.Shard("infer.queue")
+	qsh.Record(SpanInferQueueWait, 200, 900)
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not JSON: %v\n%s", err, buf.String())
+	}
+
+	names := map[int]string{}
+	type ev struct{ ts, dur float64 }
+	tracks := map[int][]ev{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name != "thread_name" {
+				t.Fatalf("unexpected metadata event %q", e.Name)
+			}
+			names[e.Tid] = e.Args["name"].(string)
+		case "X":
+			tracks[e.Tid] = append(tracks[e.Tid], ev{e.Ts, e.Dur})
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if len(names) != 2 || len(tracks) != 2 {
+		t.Fatalf("tracks = %v, names = %v", tracks, names)
+	}
+	found := map[string]bool{}
+	for tid, n := range names {
+		found[n] = len(tracks[tid]) > 0
+	}
+	if !found["drl.worker.00"] || !found["infer.queue"] {
+		t.Fatalf("missing tracks or spans: %v", found)
+	}
+	// Strict nesting per track: sorted by start, any two spans either
+	// disjoint or one contains the other.
+	for tid, evs := range tracks {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].ts < evs[j].ts })
+		for i := 0; i < len(evs); i++ {
+			for j := i + 1; j < len(evs); j++ {
+				a, b := evs[i], evs[j]
+				aEnd, bEnd := a.ts+a.dur, b.ts+b.dur
+				disjoint := b.ts >= aEnd
+				contained := bEnd <= aEnd
+				if !disjoint && !contained {
+					t.Fatalf("track %d (%s): span [%v,%v] straddles [%v,%v]",
+						tid, names[tid], b.ts, bEnd, a.ts, aEnd)
+				}
+			}
+		}
+	}
+	// The worker track's episode span must contain the select span.
+	var worker []ev
+	for tid, n := range names {
+		if n == "drl.worker.00" {
+			worker = tracks[tid]
+		}
+	}
+	sort.Slice(worker, func(i, j int) bool { return worker[i].dur > worker[j].dur })
+	if len(worker) < 2 || worker[0].dur < worker[1].dur {
+		t.Fatalf("worker track spans = %+v", worker)
+	}
+}
+
+func TestRingBufferWrapKeepsNewest(t *testing.T) {
+	tr, tick := fixedClockTracer(256) // capacity floors at 256
+	sh := tr.Shard("w0")
+	const total = 700
+	for i := 0; i < total; i++ {
+		sp := sh.Start(SpanMCTSSelect)
+		tick(10)
+		sp.End()
+	}
+	// Aggregates keep counting past the wrap.
+	stats := tr.Aggregate()
+	if len(stats) != 1 || stats[0].Count != total {
+		t.Fatalf("aggregate = %+v, want count %d", stats, total)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string  `json:"ph"`
+			Ts float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not JSON after wrap: %v", err)
+	}
+	var spans int
+	var maxTs float64
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			spans++
+			if e.Ts > maxTs {
+				maxTs = e.Ts
+			}
+		}
+	}
+	if spans != 256 {
+		t.Fatalf("exported %d spans after wrap, want ring capacity 256", spans)
+	}
+	// The newest span (start = (total-1)*10 ns = 6.99 µs) must survive.
+	if wantTs := float64((total-1)*10) / 1e3; maxTs != wantTs {
+		t.Fatalf("newest span ts = %v, want %v", maxTs, wantTs)
+	}
+}
+
+// TestTracerConcurrentShards drives one shard per goroutine under -race:
+// shard operations are unsynchronized by design, so this passing proves
+// the per-goroutine ownership rule gives race-free recording, while
+// Aggregate runs concurrently against the atomic tallies.
+func TestTracerConcurrentShards(t *testing.T) {
+	tr := NewTracer(512)
+	var wg sync.WaitGroup
+	const workers, spans = 8, 400
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := tr.Shard("worker")
+			for i := 0; i < spans; i++ {
+				ep := sh.Start(SpanEpisode)
+				sel := sh.Start(SpanMCTSSelect)
+				sel.End()
+				ep.End()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tr.Aggregate()
+			tr.SummaryLine(3)
+		}
+	}()
+	wg.Wait()
+	<-done
+	byKind := map[string]SpanStat{}
+	for _, s := range tr.Aggregate() {
+		byKind[s.Kind] = s
+	}
+	if got := byKind["drl.episode"].Count; got != workers*spans {
+		t.Fatalf("episode count = %d, want %d", got, workers*spans)
+	}
+	if got := byKind["mcts.select"].Count; got != workers*spans {
+		t.Fatalf("select count = %d, want %d", got, workers*spans)
+	}
+}
+
+func TestSpanZeroAlloc(t *testing.T) {
+	// Disabled path: nil shard.
+	var nilShard *TraceShard
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := nilShard.Start(SpanEpisode)
+		sp.End()
+		nilShard.Record(SpanInferQueueWait, 0, 5)
+	}); n != 0 {
+		t.Fatalf("nil shard span ops allocate %v/op, want 0", n)
+	}
+	// Enabled path: warmed shard (stack and ring preallocated).
+	tr := NewTracer(1024)
+	sh := tr.Shard("w0")
+	sp := sh.Start(SpanEpisode)
+	sp.End()
+	if n := testing.AllocsPerRun(1000, func() {
+		ep := sh.Start(SpanEpisode)
+		sel := sh.Start(SpanMCTSSelect)
+		sel.End()
+		ep.End()
+		sh.Record(SpanInferQueueWait, 1, 7)
+	}); n != 0 {
+		t.Fatalf("enabled shard span ops allocate %v/op, want 0", n)
+	}
+}
+
+func BenchmarkTraceSpan(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		var sh *TraceShard
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := sh.Start(SpanMCTSSelect)
+			sp.End()
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		tr := NewTracer(4096)
+		sh := tr.Shard("bench")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := sh.Start(SpanMCTSSelect)
+			sp.End()
+		}
+	})
+}

@@ -3,6 +3,8 @@ package rl
 import (
 	"sync"
 	"testing"
+
+	"routerless/internal/obs"
 )
 
 // These tests pin the PR's zero-allocation contract for the episode hot
@@ -51,6 +53,35 @@ func TestGreedyStepZeroAllocSteadyState(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("warmed-up greedy step allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestGreedyStepZeroAllocWithNilTraceSpan pins the disabled-tracing
+// invariant for the search hot path: a greedy scan + step wrapped in a
+// span on a nil shard (exactly what the DRL worker does when no -trace
+// flag is given) keeps the zero-allocation pin. If the obs span machinery
+// ever allocates on its disabled path, the episode loop regresses here
+// first.
+func TestGreedyStepZeroAllocWithNilTraceSpan(t *testing.T) {
+	e := NewEnv(6, 10)
+	GreedyComplete(e) // warm all buffers at full occupancy
+	e.Reset()
+	var sh *obs.TraceShard // nil: tracing disabled
+	allocs := testing.AllocsPerRun(20, func() {
+		sp := sh.Start(obs.SpanMCTSSelect)
+		r := GreedySearch(e)
+		if !r.OK {
+			e.Reset()
+			sp.End()
+			return
+		}
+		if _, kind := e.Step(r.Action); kind != Valid {
+			t.Fatal("greedy proposed an unplayable action")
+		}
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed-up greedy step under a nil trace span allocates %.1f times, want 0", allocs)
 	}
 }
 

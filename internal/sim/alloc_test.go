@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"routerless/internal/obs"
 	"routerless/internal/rec"
 	"routerless/internal/traffic"
 )
@@ -67,6 +68,39 @@ func TestAppInjectorZeroAllocSteadyState(t *testing.T) {
 	net := NewRing(tp, DefaultRingConfig())
 	src := traffic.NewAppInjector(prof, 8, 8, 128, 1)
 	testZeroAllocCycle(t, net, src)
+}
+
+// TestStepZeroAllocWithNilTraceSpan pins the disabled-tracing invariant at
+// per-cycle granularity: wrapping every steady-state cycle in a span on a
+// nil shard (the state every un-traced run is in — RunConfig.Trace nil)
+// must leave the zero-allocation pin untouched. Start/End on a nil shard
+// are one pointer check each; if span recording ever grows state that
+// escapes to the heap on the disabled path, this fails before any sweep
+// slows down.
+func TestStepZeroAllocWithNilTraceSpan(t *testing.T) {
+	tp := rec.MustGenerate(8)
+	net := NewRing(tp, DefaultRingConfig())
+	src := traffic.NewInjector(8, 8, traffic.UniformRandom, 0.1, 128, 1)
+	pkts := pool[Packet]{}
+	net.recycle = func(p *Packet) { pkts.put(p) }
+	var sh *obs.TraceShard // nil: tracing disabled
+	oneCycle := func(id int) {
+		sp := sh.Start(obs.SpanSimMeasure)
+		for _, r := range src.Tick() {
+			p := pkts.get()
+			*p = Packet{ID: id, Src: r.Src, Dst: r.Dst, NumFlits: r.NumFlits, Done: -1}
+			net.Inject(p)
+		}
+		net.Step()
+		sp.End()
+	}
+	for i := 0; i < 3000; i++ {
+		oneCycle(i)
+	}
+	allocs := testing.AllocsPerRun(500, func() { oneCycle(1 << 20) })
+	if allocs != 0 {
+		t.Fatalf("steady-state cycle under a nil trace span allocates %.1f times, want 0", allocs)
+	}
 }
 
 // TestRunAllocsConstantPerRun pins the other half of the contract: total

@@ -111,13 +111,62 @@ func TestMeshReportsProbes(t *testing.T) {
 	}
 }
 
+func TestRunRecordsPhaseSpans(t *testing.T) {
+	tr := obs.NewTracer(256)
+	topo := rec.MustGenerate(4)
+	src := traffic.NewInjector(4, 4, traffic.UniformRandom, 0.02, 128, 1)
+	Run(NewRing(topo, DefaultRingConfig()), src, RunConfig{
+		WarmupCycles: 50, MeasureCycles: 200, DrainCycles: 400,
+		Trace: tr.Shard("sim.test"),
+	})
+	byKind := map[string]obs.SpanStat{}
+	for _, s := range tr.Aggregate() {
+		byKind[s.Kind] = s
+	}
+	for _, kind := range []string{"sim.run", "sim.warmup", "sim.measure", "sim.drain"} {
+		if byKind[kind].Count != 1 {
+			t.Fatalf("span %s count = %d, want 1 (stats: %+v)", kind, byKind[kind].Count, byKind)
+		}
+	}
+	run := byKind["sim.run"]
+	phases := byKind["sim.warmup"].TotalNS + byKind["sim.measure"].TotalNS + byKind["sim.drain"].TotalNS
+	if run.TotalNS < phases {
+		t.Fatalf("sim.run total %d < sum of phases %d", run.TotalNS, phases)
+	}
+}
+
 func TestResultStringIncludesP99AndSaturated(t *testing.T) {
-	r := Result{Cycles: 10, AvgLatency: 5, LatencyP99: 9.5}
-	if s := r.String(); !strings.Contains(s, "p99=9.50") || strings.Contains(s, "SATURATED") {
+	r := Result{Cycles: 10, AvgLatency: 5, LatencyP50: 4.5, LatencyP95: 8, LatencyP99: 9.5}
+	s := r.String()
+	for _, want := range []string{"p50=4.50", "p95=8.00", "p99=9.50"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "SATURATED") {
 		t.Fatalf("String() = %q", s)
 	}
 	r.Saturated = true
 	if s := r.String(); !strings.Contains(s, "SATURATED") {
 		t.Fatalf("String() = %q", s)
+	}
+}
+
+// TestRunLatencyPercentilesFromHistogram pins the satellite contract: the
+// reported percentiles come from the log-scaled histogram, so they are
+// ordered, bracket the mean sensibly, and match the registry histogram's
+// own quantiles.
+func TestRunLatencyPercentilesFromHistogram(t *testing.T) {
+	reg := obs.NewRegistry()
+	res := runInstrumented(t, reg, nil, nil)
+	if res.LatencyP50 <= 0 || res.LatencyP50 > res.LatencyP95 || res.LatencyP95 > res.LatencyP99 {
+		t.Fatalf("percentiles not ordered: p50=%v p95=%v p99=%v", res.LatencyP50, res.LatencyP95, res.LatencyP99)
+	}
+	hs := reg.Snapshot().Histograms["sim.latency_cycles"]
+	if got, want := hs.Quantile(0.99), res.LatencyP99; got != want {
+		t.Fatalf("registry q99 = %v, result p99 = %v (should both come from the same histogram)", got, want)
+	}
+	if rel := (res.LatencyP99 - res.AvgLatency) / res.AvgLatency; rel < -1 {
+		t.Fatalf("p99 %v implausible vs mean %v", res.LatencyP99, res.AvgLatency)
 	}
 }

@@ -59,7 +59,9 @@ type Network interface {
 	LinkUtilization() float64
 }
 
-// Result aggregates a simulation run's measurements.
+// Result aggregates a simulation run's measurements. The latency
+// percentiles are derived from a log-scaled histogram of per-packet
+// latencies (relative error ≤ ~3%), not from a sorted sample slice.
 type Result struct {
 	Cycles          int
 	PacketsSent     int
@@ -69,13 +71,15 @@ type Result struct {
 	AvgHops         float64
 	Throughput      float64 // accepted flits/node/cycle
 	LinkUtilization float64
+	LatencyP50      float64
+	LatencyP95      float64
 	LatencyP99      float64
 	Saturated       bool
 }
 
 func (r Result) String() string {
-	s := fmt.Sprintf("cycles=%d sent=%d done=%d lat=%.2f p99=%.2f hops=%.2f thr=%.4f util=%.3f",
-		r.Cycles, r.PacketsSent, r.PacketsDone, r.AvgLatency, r.LatencyP99, r.AvgHops, r.Throughput, r.LinkUtilization)
+	s := fmt.Sprintf("cycles=%d sent=%d done=%d lat=%.2f p50=%.2f p95=%.2f p99=%.2f hops=%.2f thr=%.4f util=%.3f",
+		r.Cycles, r.PacketsSent, r.PacketsDone, r.AvgLatency, r.LatencyP50, r.LatencyP95, r.LatencyP99, r.AvgHops, r.Throughput, r.LinkUtilization)
 	if r.Saturated {
 		s += " SATURATED"
 	}
@@ -115,6 +119,12 @@ type RunConfig struct {
 	// OnInterval, when set, observes every probe sample (e.g. to print
 	// progress lines to stderr).
 	OnInterval func(IntervalStats)
+
+	// Trace, when non-nil, records phase spans (sim.run wrapping
+	// sim.warmup / sim.measure / sim.drain) on the given shard. The shard
+	// must be owned by the goroutine calling Run. Nil tracing costs one
+	// nil check per phase, not per cycle.
+	Trace *obs.TraceShard
 }
 
 // DefaultRunConfig mirrors the paper's synthetic methodology scaled for
@@ -154,8 +164,12 @@ func Run(net Network, src Source, cfg RunConfig) Result {
 		defer func() { n.recycle = prev }()
 	}
 
+	run := cfg.Trace.Start(obs.SpanSimRun)
+	defer run.End()
+
 	nextID := 0
 	warmSent := 0
+	warm := cfg.Trace.Start(obs.SpanSimWarmup)
 	for i := 0; i < cfg.WarmupCycles; i++ {
 		for _, r := range src.Tick() {
 			p := pkts.get()
@@ -173,6 +187,7 @@ func Run(net Network, src Source, cfg RunConfig) Result {
 		}
 		net.Step()
 	}
+	warm.End()
 
 	// Size the measurement ledger from the warmup injection rate so
 	// appends stay within capacity in steady state.
@@ -183,6 +198,7 @@ func Run(net Network, src Source, cfg RunConfig) Result {
 	}
 	measured := make([]*Packet, 0, expected)
 	res := Result{}
+	meas := cfg.Trace.Start(obs.SpanSimMeasure)
 	for i := 0; i < cfg.MeasureCycles; i++ {
 		for _, r := range src.Tick() {
 			p := pkts.get()
@@ -203,14 +219,20 @@ func Run(net Network, src Source, cfg RunConfig) Result {
 		net.Step()
 		probe.tick("measure")
 	}
+	meas.End()
 	// Drain: no further injection.
+	drain := cfg.Trace.Start(obs.SpanSimDrain)
 	for i := 0; i < cfg.DrainCycles && pending(measured) > 0; i++ {
 		net.Step()
 		probe.tick("drain")
 	}
+	drain.End()
 
-	lat := make([]float64, 0, len(measured))
-	hops := make([]float64, 0, len(measured))
+	// One pass over the ledger: running sums for the means (same
+	// accumulation order the old sample slices produced) and a run-local
+	// log-scaled histogram for the percentiles.
+	latHist := obs.NewHistogram()
+	var latSum, hopSum float64
 	for _, p := range measured {
 		if p.Done < 0 {
 			res.Saturated = true
@@ -218,18 +240,23 @@ func Run(net Network, src Source, cfg RunConfig) Result {
 		}
 		res.PacketsDone++
 		res.FlitsDone += p.NumFlits
-		lat = append(lat, float64(p.Done-p.Injected))
-		hops = append(hops, float64(p.Hops))
+		l := float64(p.Done - p.Injected)
+		latSum += l
+		hopSum += float64(p.Hops)
+		latHist.Observe(l)
 	}
 	res.Cycles = cfg.MeasureCycles
-	res.AvgLatency = stats.Mean(lat)
-	res.AvgHops = stats.Mean(hops)
-	if len(lat) > 0 {
-		res.LatencyP99 = stats.Percentile(lat, 99)
+	if res.PacketsDone > 0 {
+		res.AvgLatency = latSum / float64(res.PacketsDone)
+		res.AvgHops = hopSum / float64(res.PacketsDone)
+		hs := latHist.SnapshotHist()
+		res.LatencyP50 = hs.Quantile(0.50)
+		res.LatencyP95 = hs.Quantile(0.95)
+		res.LatencyP99 = hs.Quantile(0.99)
 	}
 	res.Throughput = float64(res.FlitsDone) / float64(cfg.MeasureCycles) / float64(net.Nodes())
 	res.LinkUtilization = net.LinkUtilization()
-	probe.finish(res, lat)
+	probe.finish(res, latHist)
 	return res
 }
 
@@ -285,12 +312,6 @@ type runProbe struct {
 	latency           *obs.Histogram
 }
 
-// intervalThroughputBuckets covers accepted flits/node/cycle from trickle
-// to theoretical-max injection.
-func intervalThroughputBuckets() []float64 {
-	return []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1}
-}
-
 func newRunProbe(net Network, cfg RunConfig) *runProbe {
 	if cfg.Metrics == nil && cfg.Events == nil && cfg.OnInterval == nil {
 		return nil
@@ -314,8 +335,8 @@ func newRunProbe(net Network, cfg RunConfig) *runProbe {
 	p.inFlight = reg.Gauge("sim.inflight_packets")
 	p.bufOcc = reg.Gauge("sim.buffer_occupancy")
 	p.intervalThr = reg.Gauge("sim.interval_throughput")
-	p.intervalThrHist = reg.Histogram("sim.interval_throughput_hist", intervalThroughputBuckets())
-	p.latency = reg.Histogram("sim.latency_cycles", obs.LatencyBuckets())
+	p.intervalThrHist = reg.Histogram("sim.interval_throughput_hist")
+	p.latency = reg.Histogram("sim.latency_cycles")
 	cfg.Events.Info(obs.EventRunStart, map[string]any{
 		"nodes":   net.Nodes(),
 		"warmup":  cfg.WarmupCycles,
@@ -379,13 +400,13 @@ func (p *runProbe) tick(phase string) {
 }
 
 // finish records the end-of-run measurements and emits the run_stop event.
-func (p *runProbe) finish(res Result, latencies []float64) {
+// The run-local latency histogram is merged into the registry's in one
+// bucket-wise pass instead of re-observing every packet.
+func (p *runProbe) finish(res Result, latHist *obs.Histogram) {
 	if p == nil {
 		return
 	}
-	for _, l := range latencies {
-		p.latency.Observe(l)
-	}
+	p.latency.Merge(latHist)
 	reg := p.cfg.Metrics
 	reg.Counter("sim.packets_sent").Add(int64(res.PacketsSent))
 	reg.Counter("sim.packets_done").Add(int64(res.PacketsDone))
@@ -395,6 +416,8 @@ func (p *runProbe) finish(res Result, latencies []float64) {
 		"sent":        res.PacketsSent,
 		"done":        res.PacketsDone,
 		"avg_latency": res.AvgLatency,
+		"p50_latency": res.LatencyP50,
+		"p95_latency": res.LatencyP95,
 		"p99_latency": res.LatencyP99,
 		"avg_hops":    res.AvgHops,
 		"throughput":  res.Throughput,
