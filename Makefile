@@ -47,9 +47,12 @@ bench-drl:
 	$(GO) test -bench 'BenchmarkDRLEpisode' -benchmem -run '^$$' ./internal/drl/
 
 # Quick iteration loop for the batched-inference service (internal/infer
-# broker, nn.ForwardBatch, fingerprint-keyed evaluation cache): batched vs
-# single-sample forwards, and broker-routed episodes vs the per-worker
-# baseline. Before/after numbers for PR 5 live in BENCH_PR5.json.
+# broker, nn.ForwardBatch + the f32 InferNet, fingerprint-keyed evaluation
+# cache). Runs both precisions side by side: BenchmarkDNNForwardBatch (f64)
+# vs BenchmarkDNNForwardBatchF32 per-sample at B=1/8/32, and broker-routed
+# episodes under f64 vs f32. The PR 7 gate is f32 B=8/32 ns/sample strictly
+# below single-sample f64 Forward on the 8×8 and 10×10 nets. Before/after
+# numbers: BENCH_PR5.json (f64 baseline), BENCH_PR7.json (f64 vs f32).
 bench-infer:
 	$(GO) test -bench 'BenchmarkDNNForwardBatch|BenchmarkDNNForward$$' -benchmem -run '^$$' .
 	$(GO) test -bench 'BenchmarkDRLEpisode' -benchmem -run '^$$' ./internal/drl/

@@ -254,7 +254,7 @@ func BenchmarkSimRunTraced(b *testing.B) {
 }
 
 func BenchmarkDNNForward(b *testing.B) {
-	for _, n := range []int{4, 8} {
+	for _, n := range []int{4, 8, 10} {
 		b.Run(strconv.Itoa(n)+"x"+strconv.Itoa(n), func(b *testing.B) {
 			net := nn.NewPolicyValueNet(nn.Config{N: n, BaseChannels: 4, Pools: 3}, 1)
 			in := make([]float64, n*n*n*n)
@@ -275,21 +275,13 @@ func BenchmarkDNNForward(b *testing.B) {
 // internal/infer broker runs: one ForwardBatch over B stacked states,
 // reported per batch (divide by B for the per-sample cost against
 // BenchmarkDNNForward). Before/after numbers for PR 5 live in
-// BENCH_PR5.json.
+// BENCH_PR5.json; the f64-vs-f32 comparison for PR 7 in BENCH_PR7.json.
 func BenchmarkDNNForwardBatch(b *testing.B) {
-	for _, n := range []int{4, 8} {
+	for _, n := range []int{4, 8, 10} {
 		for _, bs := range []int{1, 8, 32} {
 			b.Run(strconv.Itoa(n)+"x"+strconv.Itoa(n)+"/B"+strconv.Itoa(bs), func(b *testing.B) {
 				net := nn.NewPolicyValueNet(nn.Config{N: n, BaseChannels: 4, Pools: 3}, 1)
-				rng := rand.New(rand.NewSource(2))
-				states := make([][]float64, bs)
-				for s := range states {
-					in := make([]float64, n*n*n*n)
-					for i := range in {
-						in[i] = rng.Float64() * 40
-					}
-					states[s] = in
-				}
+				states := benchStates(n, bs)
 				outs := make([]nn.Output, bs)
 				net.WarmBatch(bs)
 				net.ForwardBatch(states, outs) // populate the output slices
@@ -297,6 +289,45 @@ func BenchmarkDNNForwardBatch(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					net.ForwardBatch(states, outs)
+				}
+				b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(bs)*1e9, "ns/sample")
+			})
+		}
+	}
+}
+
+func benchStates(n, bs int) [][]float64 {
+	rng := rand.New(rand.NewSource(2))
+	states := make([][]float64, bs)
+	for s := range states {
+		in := make([]float64, n*n*n*n)
+		for i := range in {
+			in[i] = rng.Float64() * 40
+		}
+		states[s] = in
+	}
+	return states
+}
+
+// BenchmarkDNNForwardBatchF32 is BenchmarkDNNForwardBatch on the float32
+// inference engine (nn.InferNet: quantized weights, folded BatchNorm,
+// depth-blocked scheduling) — the broker's Precision: F32 hot path. The
+// PR 7 gate compares its ns/sample at B=8/32 against single-sample f64
+// Forward on the 8×8 and 10×10 nets (BENCH_PR7.json).
+func BenchmarkDNNForwardBatchF32(b *testing.B) {
+	for _, n := range []int{4, 8, 10} {
+		for _, bs := range []int{1, 8, 32} {
+			b.Run(strconv.Itoa(n)+"x"+strconv.Itoa(n)+"/B"+strconv.Itoa(bs), func(b *testing.B) {
+				net := nn.NewPolicyValueNet(nn.Config{N: n, BaseChannels: 4, Pools: 3}, 1)
+				inf := nn.NewInferNet(net)
+				states := benchStates(n, bs)
+				outs := make([]nn.Output, bs)
+				inf.Warm(bs)
+				inf.ForwardBatch(states, outs) // populate the output slices
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					inf.ForwardBatch(states, outs)
 				}
 				b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(bs)*1e9, "ns/sample")
 			})

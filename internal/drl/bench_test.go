@@ -67,6 +67,19 @@ func BenchmarkDRLEpisodeTraced(b *testing.B) {
 // Reports the cache hit rate alongside ns/op. Before/after numbers for
 // PR 5 live in BENCH_PR5.json.
 func BenchmarkDRLEpisodeBroker(b *testing.B) {
+	benchEpisodeBroker(b, false)
+}
+
+// BenchmarkDRLEpisodeBrokerF32 is BenchmarkDRLEpisodeBroker with the
+// broker evaluating on the float32 inference engine — the end-to-end view
+// of the f32 working-set reduction under real coalescing/caching. PR 7's
+// before/after (against BenchmarkDRLEpisodeBroker and the PR 5 baseline)
+// lives in BENCH_PR7.json.
+func BenchmarkDRLEpisodeBrokerF32(b *testing.B) {
+	benchEpisodeBroker(b, true)
+}
+
+func benchEpisodeBroker(b *testing.B, f32 bool) {
 	const workers = 4
 	for _, n := range []int{8, 10} {
 		b.Run(strconv.Itoa(n)+"x"+strconv.Itoa(n), func(b *testing.B) {
@@ -74,6 +87,7 @@ func BenchmarkDRLEpisodeBroker(b *testing.B) {
 			cfg.NN = nn.Config{N: n, BaseChannels: 2, Pools: 2}
 			cfg.Threads = workers
 			cfg.InferBatch = 8
+			cfg.InferF32 = f32
 			s := MustNew(cfg)
 			stop := s.startBroker()
 			defer stop()

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"routerless/internal/infer"
 	"routerless/internal/mcts"
@@ -76,6 +77,19 @@ type Config struct {
 	// InferCacheSize sizes the broker's evaluation cache (0 = broker
 	// default, negative = caching disabled). Ignored when InferBatch == 0.
 	InferCacheSize int
+	// InferF32 routes brokered evaluations through the float32 inference
+	// engine (nn.InferNet, re-quantized from the f64 weights on every
+	// sync): about half the inference working set in exchange for ≤1e-4
+	// relative drift on priors and value. Training and the legacy
+	// per-worker path stay f64. Ignored when InferBatch == 0.
+	InferF32 bool
+	// InferFlush, when > 0, is the broker's batch top-up window: after the
+	// first request of a batch arrives the collector waits up to this long
+	// for more before flushing. Zero flushes on quiescence. Longer waits
+	// raise batch occupancy (amortizing the forward) at the cost of
+	// latency on the first request of each batch. Ignored when
+	// InferBatch == 0.
+	InferFlush time.Duration
 	// Seed makes single-threaded runs fully deterministic.
 	Seed int64
 	// InitWeights, when non-nil, warm-starts the policy/value network
@@ -274,10 +288,16 @@ func (s *Searcher) Run() *Result {
 func (s *Searcher) startBroker() func() {
 	net := nn.NewPolicyValueNet(s.cfg.NN, s.cfg.Seed)
 	net.SetWeights(s.server.snapshot())
+	prec := infer.F64
+	if s.cfg.InferF32 {
+		prec = infer.F32
+	}
 	br := infer.New(infer.Config{
 		Net:       net,
 		Batch:     s.cfg.InferBatch,
+		FlushWait: s.cfg.InferFlush,
 		CacheSize: s.cfg.InferCacheSize,
+		Precision: prec,
 		Metrics:   s.cfg.Metrics,
 		Trace:     s.cfg.Trace,
 	})

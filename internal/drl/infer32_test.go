@@ -1,0 +1,45 @@
+package drl
+
+import (
+	"math"
+	"testing"
+)
+
+// The accuracy-drift gate for the f32 inference engine: a deterministic
+// single-threaded search with brokered f32 priors must stay a working
+// search. Byte identity is impossible by design — quantized priors differ
+// from the f64 ones around the 7th decimal, and a sampled action can flip
+// on any such difference, after which trajectories legitimately diverge —
+// so this asserts on search quality instead: the f32 run completes the
+// same number of episodes, still finds valid fully-connected designs, and
+// its best average hop count lands within 15% of the f64 run's. (On these
+// seeds the two runs land within a few percent; 15% leaves headroom for
+// legitimate trajectory divergence without letting a broken engine pass.)
+func TestSearchF32AccuracyDrift(t *testing.T) {
+	legacy := MustNew(quickCfg(4, 6, 6)).Run()
+
+	cfg := quickCfg(4, 6, 6)
+	cfg.InferBatch = 8
+	cfg.InferF32 = true
+	f32 := MustNew(cfg).Run()
+
+	if f32.Episodes != legacy.Episodes {
+		t.Fatalf("episodes: f32 %d vs f64 %d", f32.Episodes, legacy.Episodes)
+	}
+	if len(legacy.Valid) == 0 {
+		t.Fatal("f64 reference run found no valid designs")
+	}
+	if len(f32.Valid) == 0 {
+		t.Fatal("f32 run found no valid designs")
+	}
+	if f32.Best.Topo == nil || !f32.Best.Topo.FullyConnected() {
+		t.Fatal("f32 best design not fully connected")
+	}
+	rel := math.Abs(f32.Best.AvgHops-legacy.Best.AvgHops) / legacy.Best.AvgHops
+	if rel > 0.15 {
+		t.Fatalf("f32 search quality drifted: best avg hops %v vs f64 %v (rel %.3f)",
+			f32.Best.AvgHops, legacy.Best.AvgHops, rel)
+	}
+	t.Logf("best avg hops: f64 %v, f32 %v (rel drift %.4f)",
+		legacy.Best.AvgHops, f32.Best.AvgHops, rel)
+}

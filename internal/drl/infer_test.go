@@ -2,6 +2,7 @@ package drl
 
 import (
 	"testing"
+	"time"
 
 	"routerless/internal/infer"
 	"routerless/internal/obs"
@@ -66,11 +67,14 @@ func TestSearchBrokerMatchesLegacySingleThread(t *testing.T) {
 }
 
 // Broker-routed multithreaded search completes and reports broker activity
-// through the shared metrics registry.
+// through the shared metrics registry. The flush window is set so the
+// FlushWait plumbing (Config.InferFlush → infer.Config.FlushWait) is
+// exercised on the timer top-up path rather than quiescence drains.
 func TestSearchBrokerMultiThread(t *testing.T) {
 	cfg := quickCfg(4, 6, 12)
 	cfg.Threads = 4
 	cfg.InferBatch = 4
+	cfg.InferFlush = 200 * time.Microsecond
 	reg := obs.NewRegistry()
 	cfg.Metrics = reg
 	s := MustNew(cfg)

@@ -1,0 +1,142 @@
+package infer
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"routerless/internal/obs"
+)
+
+// Broker evaluations under Precision: F32 must track a f64 reference net
+// within the quantization tolerance — before and after a weight/stats
+// sync, proving the shadow re-quantizes from every staged snapshot.
+func TestBrokerF32MatchesDirectForwardTolerance(t *testing.T) {
+	const tol = 1e-4
+	br := New(Config{Net: testNet(21), Batch: 4, Precision: F32})
+	defer br.Close()
+	ref := testNet(21)
+	rng := rand.New(rand.NewSource(22))
+	states := make([][]float64, 6)
+	for i := range states {
+		states[i] = randState(rng, 4)
+	}
+	close := func(tag, name string, g, w float64) {
+		t.Helper()
+		if diff := math.Abs(g - w); diff > tol*math.Max(1, math.Abs(w)) {
+			t.Fatalf("%s: %s: got %v want %v (diff %v)", tag, name, g, w, diff)
+		}
+	}
+	check := func(phase string) {
+		for i, s := range states {
+			ev := br.Submit("fp-"+phase+"-"+strconv.Itoa(i), s)
+			want := ref.Forward(s, false)
+			tag := phase + " sample " + strconv.Itoa(i)
+			for g := 0; g < 4; g++ {
+				for j := range want.CoordProbs[g] {
+					close(tag, "prob["+strconv.Itoa(g)+"]["+strconv.Itoa(j)+"]",
+						ev.CoordProbs[g][j], want.CoordProbs[g][j])
+				}
+			}
+			close(tag, "dirPre", ev.DirPre, want.DirPre)
+			close(tag, "dir", ev.Dir, want.Dir)
+			close(tag, "value", ev.Value, want.Value)
+		}
+	}
+	check("init")
+
+	// Sync new weights and perturbed BatchNorm stats; the f32 shadow must
+	// re-quantize and keep tracking the updated f64 reference.
+	w := ref.GetWeights()
+	for i := range w {
+		w[i] += 0.01 * math.Sin(float64(i))
+	}
+	ref.SetWeights(w)
+	st := make([]float64, ref.NumStats())
+	ref.CopyStatsInto(st)
+	for i := range st {
+		st[i] += 0.1 * float64(i%3)
+	}
+	ref.SetStats(st)
+	br.Sync(w, st)
+	check("synced")
+}
+
+// The -race satellite under F32: concurrent submitters against periodic
+// weight syncs, exercising the quantize-on-apply handoff between Sync's
+// staging and the evaluation goroutine's InferNet.Sync. Every delivered
+// evaluation must be internally consistent (probabilities normalized) and
+// every request accounted for.
+func TestBrokerConcurrentSubmitSyncRaceF32(t *testing.T) {
+	reg := obs.NewRegistry()
+	br := New(Config{Net: testNet(23), Batch: 4, CacheSize: 32, Metrics: reg, Precision: F32})
+	defer br.Close()
+	ref := testNet(23)
+	baseW := ref.GetWeights()
+
+	const workers = 8
+	const perWorker = 150
+	pool := make([][]float64, 10)
+	rng := rand.New(rand.NewSource(24))
+	for i := range pool {
+		pool[i] = randState(rng, 4)
+	}
+	stop := make(chan struct{})
+	var syncs sync.WaitGroup
+	syncs.Add(1)
+	go func() {
+		defer syncs.Done()
+		w := append([]float64(nil), baseW...)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for j := range w {
+				w[j] = baseW[j] * (1 + 0.001*float64(i%7))
+			}
+			br.Sync(w, nil)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	var wg sync.WaitGroup
+	for t2 := 0; t2 < workers; t2++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				idx := r.Intn(len(pool))
+				ev := br.Submit("fp-"+strconv.Itoa(idx), pool[idx])
+				if ev == nil {
+					panic("nil eval")
+				}
+				sum := 0.0
+				for _, p := range ev.CoordProbs[0] {
+					sum += p
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					panic("coordinate probabilities do not sum to 1")
+				}
+			}
+		}(int64(200 + t2))
+	}
+	wg.Wait()
+	close(stop)
+	syncs.Wait()
+
+	st := br.Stats()
+	if st.Requests != workers*perWorker {
+		t.Fatalf("requests = %d, want %d", st.Requests, workers*perWorker)
+	}
+	if st.Hits+st.Misses != st.Requests {
+		t.Fatalf("hits %d + misses %d != requests %d", st.Hits, st.Misses, st.Requests)
+	}
+	if st.Evaluated >= st.Requests {
+		t.Fatalf("no deduplication: %d evaluated for %d requests", st.Evaluated, st.Requests)
+	}
+}

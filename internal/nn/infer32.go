@@ -1,0 +1,555 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"routerless/internal/tensor"
+)
+
+// Float32 inference engine. An InferNet is a read-only float32 shadow of a
+// PolicyValueNet built for the batched-inference broker (internal/infer):
+// half the working set of the f64 path, which is exactly what
+// BENCH_PR5.json showed falling out of cache at B ≥ 8 on 8×8 nets.
+//
+// Precision policy: f64 is the training and oracle arithmetic — every
+// byte-identity guarantee (ForwardBatch == Forward, brokered search ==
+// legacy search) lives there and is untouched by this file. The f32 engine
+// is inference-only and one-way: Sync quantizes the source net's current
+// f64 parameters into the f32 shadows (BatchNorm folds γ/β/RunMean/RunVar
+// into one fused per-channel scale+shift, so eval-mode BN becomes a single
+// multiply-add), and nothing ever flows back. Its contract is tolerance
+// parity (≤1e-4 relative on priors and value against the f64 net), pinned
+// by the parity tests in infer32_test.go.
+//
+// Scheduling: the batch is depth-blocked — split into tiles of at most
+// inferTileBudget/perSample samples, and each tile streams through the
+// whole layer chain before the next tile starts. Activation scratch is
+// sized by the tile, not the batch, so B×activations never exceeds the
+// cache budget no matter how large the broker's batch grows. Convolution
+// column panels are bounded separately by batchColsBudget (the same 4 MiB
+// chunking machinery as the f64 batch path). Tiling is invisible in the
+// results: every kernel's per-element reduction order is independent of
+// the batch/column count (see tensor/gemm32.go), so the tiled forward is
+// bit-for-bit identical to the untiled one — TestInferNetTilingInvariance
+// pins this.
+//
+// Ownership mirrors the f64 arena rule: an InferNet is not goroutine-safe
+// and is owned by whoever owns its source net (the broker's evaluation
+// goroutine). After Warm, steady-state ForwardBatch calls allocate
+// nothing.
+
+// inferTileBudget bounds, in float32 scalars, the per-tile activation
+// working set of the depth-blocked f32 forward (default 1<<20 scalars =
+// 4 MiB). A package variable so tests can force specific tile shapes.
+var inferTileBudget = 1 << 20
+
+// inferOp is one layer's f32 inference mirror. forward reads a
+// channel-major (C, B, H, W) activation and returns the op-owned output;
+// sync re-quantizes parameters from the f64 source layer; plan reports the
+// output shape and the op's per-sample scratch footprint in scalars.
+type inferOp interface {
+	sync()
+	forward(x *act32) *act32
+	plan(c, h, w int) (oc, oh, ow, scalars int)
+}
+
+// act32 is a channel-major (C, B, H, W) float32 activation with reusable
+// backing storage.
+type act32 struct {
+	data       []float32
+	c, nb, h, w int
+}
+
+func (a *act32) reshape(c, nb, h, w int) {
+	n := c * nb * h * w
+	if cap(a.data) < n {
+		a.data = make([]float32, n)
+	}
+	a.data = a.data[:n]
+	a.c, a.nb, a.h, a.w = c, nb, h, w
+}
+
+// grow32 resizes *p to length n, allocating only when capacity is
+// insufficient; contents are unspecified (callers fully overwrite).
+func grow32(p *[]float32, n int) []float32 {
+	s := *p
+	if cap(s) < n {
+		s = make([]float32, n)
+	}
+	s = s[:n]
+	*p = s
+	return s
+}
+
+// quant32 quantizes src into *p (resized to match).
+func quant32(p *[]float32, src []float64) []float32 {
+	d := grow32(p, len(src))
+	for i, v := range src {
+		d[i] = float32(v)
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Layer mirrors
+
+type conv32 struct {
+	src       *Conv2D
+	w, b      []float32
+	cols, tmp []float32
+	out       act32
+}
+
+func (o *conv32) sync() {
+	quant32(&o.w, o.src.Weight.W.Data)
+	quant32(&o.b, o.src.Bias.W.Data)
+}
+
+func (o *conv32) plan(c, h, w int) (int, int, int, int) {
+	return o.src.OutC, h, w, o.src.OutC * h * w
+}
+
+func (o *conv32) forward(x *act32) *act32 {
+	nb, h, w := x.nb, x.h, x.w
+	hw := h * w
+	k := o.src.K
+	ickk := o.src.InC * k * k
+	outC := o.src.OutC
+	o.out.reshape(outC, nb, h, w)
+	chunk := nb
+	if m := batchColsBudget / (ickk * hw); m < chunk {
+		chunk = max(1, m)
+	}
+	cols := grow32(&o.cols, ickk*chunk*hw)
+	var tmp []float32
+	if chunk < nb {
+		tmp = grow32(&o.tmp, outC*chunk*hw)
+	}
+	for s0 := 0; s0 < nb; s0 += chunk {
+		cb := min(chunk, nb-s0)
+		tensor.Im2colBatch32(x.data, o.src.InC, nb, s0, cb, h, w, k, (k-1)/2, cols)
+		if cb == nb {
+			tensor.GemmNN32(outC, cb*hw, ickk, o.w, cols, o.out.data, false)
+		} else {
+			tensor.GemmNN32(outC, cb*hw, ickk, o.w, cols, tmp, false)
+			for oc := 0; oc < outC; oc++ {
+				copy(o.out.data[(oc*nb+s0)*hw:(oc*nb+s0+cb)*hw], tmp[oc*cb*hw:(oc+1)*cb*hw])
+			}
+		}
+	}
+	for oc := 0; oc < outC; oc++ {
+		bv := o.b[oc]
+		if bv == 0 {
+			continue
+		}
+		row := o.out.data[oc*nb*hw : (oc+1)*nb*hw]
+		for i := range row {
+			row[i] += bv
+		}
+	}
+	return &o.out
+}
+
+// bn32 is eval-mode BatchNorm folded to one affine transform per channel:
+// scale = γ/√(RunVar+ε), shift = β − RunMean·scale, both computed in f64 at
+// sync time and quantized once — the per-element cost drops from
+// subtract/scale/scale/add to a single fused multiply-add.
+type bn32 struct {
+	src          *BatchNorm
+	scale, shift []float32
+	out          act32
+}
+
+func (o *bn32) sync() {
+	c := o.src.C
+	scale := grow32(&o.scale, c)
+	shift := grow32(&o.shift, c)
+	for i := 0; i < c; i++ {
+		ginv := o.src.Gamma.W.Data[i] / math.Sqrt(o.src.RunVar[i]+o.src.Eps)
+		scale[i] = float32(ginv)
+		shift[i] = float32(o.src.Beta.W.Data[i] - o.src.RunMean[i]*ginv)
+	}
+}
+
+func (o *bn32) plan(c, h, w int) (int, int, int, int) {
+	return c, h, w, c * h * w
+}
+
+func (o *bn32) forward(x *act32) *act32 {
+	n := x.nb * x.h * x.w
+	o.out.reshape(x.c, x.nb, x.h, x.w)
+	for c := 0; c < x.c; c++ {
+		s, sh := o.scale[c], o.shift[c]
+		src := x.data[c*n : (c+1)*n]
+		dst := o.out.data[c*n : (c+1)*n]
+		for i, v := range src {
+			dst[i] = s*v + sh
+		}
+	}
+	return &o.out
+}
+
+type relu32 struct {
+	out act32
+}
+
+func (o *relu32) sync() {}
+
+func (o *relu32) plan(c, h, w int) (int, int, int, int) {
+	return c, h, w, c * h * w
+}
+
+func (o *relu32) forward(x *act32) *act32 {
+	o.out.reshape(x.c, x.nb, x.h, x.w)
+	for i, v := range x.data {
+		if v <= 0 {
+			o.out.data[i] = 0
+		} else {
+			o.out.data[i] = v
+		}
+	}
+	return &o.out
+}
+
+type pool32 struct {
+	out act32
+}
+
+func (o *pool32) sync() {}
+
+func (o *pool32) plan(c, h, w int) (int, int, int, int) {
+	return c, h / 2, w / 2, c * (h / 2) * (w / 2)
+}
+
+func (o *pool32) forward(x *act32) *act32 {
+	c, nb, h, w := x.c, x.nb, x.h, x.w
+	oh, ow := h/2, w/2
+	if oh < 1 || ow < 1 {
+		panic(fmt.Sprintf("nn: f32 MaxPool input (%d,%d,%d,%d) too small", c, nb, h, w))
+	}
+	o.out.reshape(c, nb, oh, ow)
+	for plane := 0; plane < c*nb; plane++ {
+		src := x.data[plane*h*w : (plane+1)*h*w]
+		dst := o.out.data[plane*oh*ow : (plane+1)*oh*ow]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := src[2*oy*w+2*ox]
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						if v := src[(2*oy+dy)*w+2*ox+dx]; v > best {
+							best = v
+						}
+					}
+				}
+				dst[oy*ow+ox] = best
+			}
+		}
+	}
+	return &o.out
+}
+
+// residual32 fuses the shortcut add and the trailing ReLU:
+// out = max(0, F(x)+x) elementwise, matching the f64 expression.
+type residual32 struct {
+	body []inferOp
+	out  act32
+}
+
+func (o *residual32) sync() {
+	for _, op := range o.body {
+		op.sync()
+	}
+}
+
+func (o *residual32) plan(c, h, w int) (int, int, int, int) {
+	total := c * h * w // fused sum+relu output
+	bc, bh, bw := c, h, w
+	for _, op := range o.body {
+		var s int
+		bc, bh, bw, s = op.plan(bc, bh, bw)
+		total += s
+	}
+	if bc != c || bh != h || bw != w {
+		panic("nn: residual body changes shape")
+	}
+	return c, h, w, total
+}
+
+func (o *residual32) forward(x *act32) *act32 {
+	f := x
+	for _, op := range o.body {
+		f = op.forward(f)
+	}
+	o.out.reshape(x.c, x.nb, x.h, x.w)
+	for i, v := range f.data {
+		s := v + x.data[i]
+		if s <= 0 {
+			s = 0
+		}
+		o.out.data[i] = s
+	}
+	return &o.out
+}
+
+// dense32 evaluates an FC layer on sample-major (B, In) rows through
+// MatVecBatch32, whose per-sample dot-product order matches the f32
+// matrix–vector fast path regardless of the batch size.
+type dense32 struct {
+	src  *Dense
+	w, b []float32
+	out  []float32
+}
+
+func (d *dense32) sync() {
+	quant32(&d.w, d.src.Weight.W.Data)
+	quant32(&d.b, d.src.Bias.W.Data)
+}
+
+func (d *dense32) rows(x []float32, nb int) []float32 {
+	m := d.src.Out
+	out := grow32(&d.out, nb*m)
+	tensor.MatVecBatch32(m, d.src.In, nb, d.w, x, out)
+	for bi := 0; bi < nb; bi++ {
+		row := out[bi*m : (bi+1)*m]
+		for o := range row {
+			row[o] += d.b[o]
+		}
+	}
+	return out
+}
+
+// pack32 transposes a channel-major (C, B, H, W) activation into
+// sample-major (B, C·H·W) rows, the flattening the Dense heads expect.
+func pack32(p *[]float32, src *act32) []float32 {
+	c, nb := src.c, src.nb
+	hw := src.h * src.w
+	dst := grow32(p, nb*c*hw)
+	for ci := 0; ci < c; ci++ {
+		for bi := 0; bi < nb; bi++ {
+			copy(dst[bi*c*hw+ci*hw:bi*c*hw+(ci+1)*hw],
+				src.data[(ci*nb+bi)*hw:(ci*nb+bi+1)*hw])
+		}
+	}
+	return dst
+}
+
+// ---------------------------------------------------------------------------
+// InferNet
+
+// InferNet is the float32 inference shadow of a PolicyValueNet; see the
+// package comment at the top of this file for the precision policy and
+// scheduling. Construct with NewInferNet, refresh with Sync after the
+// source net's weights or BatchNorm statistics change, and evaluate with
+// ForwardBatch.
+type InferNet struct {
+	Cfg Config
+	src *PolicyValueNet
+
+	trunk               []inferOp
+	pConv, dConv, vConv []inferOp
+	pFC1, pFC2          *dense32
+	dFC, vFC            *dense32
+
+	in         act32
+	px, dx, vx []float32
+	// perSample is the per-sample activation scratch footprint in scalars,
+	// computed once from the layer plan; it sizes the depth-block tiles.
+	perSample int
+}
+
+// buildOps mirrors the f64 layer tree into f32 inference ops.
+func buildOps(l Layer, dst []inferOp) []inferOp {
+	switch v := l.(type) {
+	case *Sequential:
+		for _, inner := range v.Layers {
+			dst = buildOps(inner, dst)
+		}
+	case *Conv2D:
+		dst = append(dst, &conv32{src: v})
+	case *BatchNorm:
+		dst = append(dst, &bn32{src: v})
+	case *ReLU:
+		dst = append(dst, &relu32{})
+	case *MaxPool:
+		dst = append(dst, &pool32{})
+	case *Residual:
+		dst = append(dst, &residual32{body: buildOps(v.Body, nil)})
+	default:
+		panic(fmt.Sprintf("nn: layer %T has no f32 inference mirror", l))
+	}
+	return dst
+}
+
+// NewInferNet builds the f32 shadow of src and performs the initial Sync.
+// The InferNet keeps references into src's layers: it must not outlive the
+// source net, and Sync must be called whenever src's parameters change.
+func NewInferNet(src *PolicyValueNet) *InferNet {
+	n := &InferNet{
+		Cfg:   src.Cfg,
+		src:   src,
+		trunk: buildOps(src.trunk, nil),
+		pConv: buildOps(src.pConv, nil),
+		dConv: buildOps(src.dConv, nil),
+		vConv: buildOps(src.vConv, nil),
+		pFC1:  &dense32{src: src.pFC1},
+		pFC2:  &dense32{src: src.pFC2},
+		dFC:   &dense32{src: src.dFC},
+		vFC:   &dense32{src: src.vFC},
+	}
+	// Per-sample footprint: the converted input plus every op output along
+	// the trunk, plus the three head branches (conv ops, sample-major pack,
+	// dense rows). Column panels are excluded — they are bounded globally
+	// by batchColsBudget, not scaled by the tile.
+	side := src.Cfg.N * src.Cfg.N
+	c, h, w := 1, side, side
+	total := side * side
+	for _, op := range n.trunk {
+		var s int
+		c, h, w, s = op.plan(c, h, w)
+		total += s
+	}
+	for _, head := range [][]inferOp{n.pConv, n.dConv, n.vConv} {
+		hc, hh, hw := c, h, w
+		for _, op := range head {
+			var s int
+			hc, hh, hw, s = op.plan(hc, hh, hw)
+			total += s
+		}
+		total += hc * hh * hw // pack buffer
+	}
+	total += n.pFC1.src.Out + n.pFC2.src.Out + n.dFC.src.Out + n.vFC.src.Out
+	n.perSample = total
+	n.Sync()
+	return n
+}
+
+// Sync re-quantizes every parameter from the source net: weights and
+// biases one-way f64→f32, BatchNorm running statistics folded into fused
+// scale+shift. Call after each weight/statistics update on the source net;
+// allocation-free after the first call.
+func (n *InferNet) Sync() {
+	for _, ops := range [][]inferOp{n.trunk, n.pConv, n.dConv, n.vConv} {
+		for _, op := range ops {
+			op.sync()
+		}
+	}
+	n.pFC1.sync()
+	n.pFC2.sync()
+	n.dFC.sync()
+	n.vFC.sync()
+}
+
+// TileSize reports the depth-block tile the engine would use for a batch
+// of nb samples under the current budget (an observability/testing hook).
+func (n *InferNet) TileSize(nb int) int {
+	tile := nb
+	if t := inferTileBudget / n.perSample; t < tile {
+		tile = max(1, t)
+	}
+	return tile
+}
+
+// ForwardBatch evaluates len(states) hop-count matrices in f32 inference
+// mode, filling outs[i] for states[i]; the contract mirrors the f64
+// PolicyValueNet.ForwardBatch (outputs do not alias network buffers,
+// output slices are reused, warmed calls allocate nothing) except that
+// results carry f32 tolerance parity rather than byte identity. The batch
+// is processed in depth-block tiles; results are independent of the
+// tiling.
+func (n *InferNet) ForwardBatch(states [][]float64, outs []Output) {
+	nb := len(states)
+	if nb == 0 {
+		return
+	}
+	if len(outs) < nb {
+		panic(fmt.Sprintf("nn: InferNet.ForwardBatch got %d outputs for %d states", len(outs), nb))
+	}
+	tile := n.TileSize(nb)
+	for s0 := 0; s0 < nb; s0 += tile {
+		cb := min(tile, nb-s0)
+		n.forwardTile(states[s0:s0+cb], outs[s0:s0+cb])
+	}
+}
+
+func (n *InferNet) forwardTile(states [][]float64, outs []Output) {
+	cb := len(states)
+	side := n.Cfg.N * n.Cfg.N
+	n.in.reshape(1, cb, side, side)
+	norm := 5 * float64(n.Cfg.N)
+	for bi, st := range states {
+		if len(st) != side*side {
+			panic(fmt.Sprintf("nn: input length %d, want %d", len(st), side*side))
+		}
+		dst := n.in.data[bi*side*side : (bi+1)*side*side]
+		for i, v := range st {
+			dst[i] = float32(v / norm)
+		}
+	}
+	x := &n.in
+	for _, op := range n.trunk {
+		x = op.forward(x)
+	}
+
+	// Policy coordinates; the hidden ReLU runs in place on the dense rows.
+	pc := x
+	for _, op := range n.pConv {
+		pc = op.forward(pc)
+	}
+	h1 := n.pFC1.rows(pack32(&n.px, pc), cb)
+	for i, v := range h1 {
+		if v <= 0 {
+			h1[i] = 0
+		}
+	}
+	logits := n.pFC2.rows(h1, cb)
+	// Direction.
+	dc := x
+	for _, op := range n.dConv {
+		dc = op.forward(dc)
+	}
+	dpre := n.dFC.rows(pack32(&n.dx, dc), cb)
+	// Value.
+	vc := x
+	for _, op := range n.vConv {
+		vc = op.forward(vc)
+	}
+	val := n.vFC.rows(pack32(&n.vx, vc), cb)
+
+	nc := n.Cfg.N
+	for bi := 0; bi < cb; bi++ {
+		out := &outs[bi]
+		lrow := logits[bi*4*nc : (bi+1)*4*nc]
+		for g := 0; g < 4; g++ {
+			if cap(out.CoordLogits[g]) < nc {
+				out.CoordLogits[g] = make([]float64, nc)
+				out.CoordProbs[g] = make([]float64, nc)
+			}
+			out.CoordLogits[g] = out.CoordLogits[g][:nc]
+			out.CoordProbs[g] = out.CoordProbs[g][:nc]
+			for i := 0; i < nc; i++ {
+				out.CoordLogits[g][i] = float64(lrow[g*nc+i])
+			}
+			tensor.SoftmaxInto(out.CoordProbs[g], out.CoordLogits[g])
+		}
+		out.DirPre = float64(dpre[bi])
+		out.Dir = math.Tanh(out.DirPre)
+		out.Value = float64(val[bi])
+	}
+}
+
+// Warm runs one throwaway batched forward of b blank states so the f32
+// scratch is sized for batches up to b (one depth-block tile's worth of
+// activations plus the per-conv column panels); subsequent ForwardBatch
+// calls of any size ≤ b are allocation-free.
+func (n *InferNet) Warm(b int) {
+	if b < 1 {
+		return
+	}
+	side := n.Cfg.N * n.Cfg.N
+	states := make([][]float64, b)
+	for i := range states {
+		states[i] = make([]float64, side*side)
+	}
+	n.ForwardBatch(states, make([]Output, b))
+}

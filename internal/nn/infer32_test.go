@@ -1,0 +1,171 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// assertOutputsClose is the tolerance twin of assertOutputsEqual for the
+// f32 inference path: every field must match the f64 reference within tol
+// relative (absolute below magnitude 1).
+func assertOutputsClose(t *testing.T, tag string, got, want *Output, tol float64) {
+	t.Helper()
+	close := func(name string, g, w float64) {
+		t.Helper()
+		if diff := math.Abs(g - w); diff > tol*math.Max(1, math.Abs(w)) {
+			t.Fatalf("%s: %s: got %v want %v (diff %v)", tag, name, g, w, diff)
+		}
+	}
+	for g := 0; g < 4; g++ {
+		if len(got.CoordProbs[g]) != len(want.CoordProbs[g]) {
+			t.Fatalf("%s: prob group %d length %d want %d",
+				tag, g, len(got.CoordProbs[g]), len(want.CoordProbs[g]))
+		}
+		for i := range want.CoordProbs[g] {
+			close("logit["+strconv.Itoa(g)+"]["+strconv.Itoa(i)+"]",
+				got.CoordLogits[g][i], want.CoordLogits[g][i])
+			close("prob["+strconv.Itoa(g)+"]["+strconv.Itoa(i)+"]",
+				got.CoordProbs[g][i], want.CoordProbs[g][i])
+		}
+	}
+	close("dirPre", got.DirPre, want.DirPre)
+	close("dir", got.Dir, want.Dir)
+	close("value", got.Value, want.Value)
+}
+
+// The f32 parity contract: on randomized weights, statistics and states,
+// the quantized inference engine tracks the f64 net within 1e-4 relative on
+// priors, direction and value, across every layer type the architecture
+// uses and across batch sizes including B=1, an odd size that exercises the
+// depth-block tile remainder, and batches beyond the broker's default.
+func TestInferNetToleranceParity(t *testing.T) {
+	for _, n := range []int{4, 5} {
+		t.Run(strconv.Itoa(n)+"x"+strconv.Itoa(n), func(t *testing.T) {
+			net := NewPolicyValueNet(TestConfig(n), 3)
+			perturbNet(net, 17)
+			inf := NewInferNet(net)
+			rng := rand.New(rand.NewSource(23))
+			for _, bs := range []int{1, 7, 8, 32} {
+				states := randStates(rng, n, bs)
+				want := make([]Output, bs)
+				net.ForwardBatch(states, want)
+				got := make([]Output, bs)
+				inf.ForwardBatch(states, got)
+				for i := range got {
+					assertOutputsClose(t, "B="+strconv.Itoa(bs)+" sample "+strconv.Itoa(i),
+						&got[i], &want[i], 1e-4)
+				}
+			}
+		})
+	}
+}
+
+// Depth-blocking invariance: shrinking the tile budget (down to one sample
+// per tile) and the conv column budget must reproduce the untiled f32
+// output bit-for-bit — the scheduling is a pure performance knob. Exact
+// equality is intentional (assertOutputsEqual, not the tolerance helper):
+// every f32 kernel's reduction order is independent of the batch/column
+// count.
+func TestInferNetTilingInvariance(t *testing.T) {
+	net := NewPolicyValueNet(TestConfig(4), 5)
+	perturbNet(net, 29)
+	inf := NewInferNet(net)
+	rng := rand.New(rand.NewSource(31))
+	states := randStates(rng, 4, 9)
+
+	defer func(old int) { inferTileBudget = old }(inferTileBudget)
+	inferTileBudget = 1 << 30 // one tile for the whole batch
+	if got := inf.TileSize(len(states)); got != len(states) {
+		t.Fatalf("untiled TileSize = %d, want %d", got, len(states))
+	}
+	want := make([]Output, len(states))
+	inf.ForwardBatch(states, want)
+
+	defer func(old int) { batchColsBudget = old }(batchColsBudget)
+	for _, budget := range []int{1, inf.perSample, 3 * inf.perSample} { // tile = 1, 1, 3
+		inferTileBudget = budget
+		for _, cols := range []int{1, 4096, 1 << 19} { // conv chunk = 1, small, default
+			batchColsBudget = cols
+			got := make([]Output, len(states))
+			inf.ForwardBatch(states, got)
+			for i := range got {
+				assertOutputsEqual(t,
+					"tileBudget "+strconv.Itoa(budget)+" colsBudget "+strconv.Itoa(cols)+
+						" sample "+strconv.Itoa(i),
+					&got[i], &want[i])
+			}
+		}
+	}
+}
+
+// The 0-alloc satellite, f32 edition: after Warm, steady-state batched f32
+// inference allocates nothing — including smaller batches reusing the same
+// scratch and multi-tile schedules.
+func TestInferForwardBatchZeroAllocWarm(t *testing.T) {
+	net := NewPolicyValueNet(TestConfig(4), 9)
+	perturbNet(net, 41)
+	inf := NewInferNet(net)
+	rng := rand.New(rand.NewSource(43))
+	states := randStates(rng, 4, 8)
+	outs := make([]Output, 8)
+	inf.Warm(8)
+	inf.ForwardBatch(states, outs) // populate the output slices too
+	if allocs := testing.AllocsPerRun(50, func() {
+		inf.ForwardBatch(states, outs)
+	}); allocs != 0 {
+		t.Fatalf("warmed f32 ForwardBatch allocates %.0f times per batch, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		inf.ForwardBatch(states[:3], outs[:3])
+	}); allocs != 0 {
+		t.Fatalf("warmed f32 ForwardBatch(B=3) allocates %.0f times per batch, want 0", allocs)
+	}
+	// Re-quantizing after a weight update is also allocation-free, and a
+	// forced multi-tile schedule reuses the single-tile scratch.
+	if allocs := testing.AllocsPerRun(10, func() {
+		inf.Sync()
+	}); allocs != 0 {
+		t.Fatalf("warmed Sync allocates %.0f times, want 0", allocs)
+	}
+	defer func(old int) { inferTileBudget = old }(inferTileBudget)
+	inferTileBudget = 2 * inf.perSample
+	if allocs := testing.AllocsPerRun(50, func() {
+		inf.ForwardBatch(states, outs)
+	}); allocs != 0 {
+		t.Fatalf("warmed tiled f32 ForwardBatch allocates %.0f times per batch, want 0", allocs)
+	}
+}
+
+// Sync is the only channel from the f64 net to the f32 shadow: after the
+// source's weights and BatchNorm statistics move, stale f32 outputs must
+// keep reflecting the old parameters until Sync re-quantizes, after which
+// parity with the updated f64 net holds again.
+func TestInferNetSyncTracksSource(t *testing.T) {
+	net := NewPolicyValueNet(TestConfig(4), 11)
+	perturbNet(net, 47)
+	inf := NewInferNet(net)
+	rng := rand.New(rand.NewSource(53))
+	states := randStates(rng, 4, 4)
+
+	stale := make([]Output, len(states))
+	inf.ForwardBatch(states, stale)
+
+	perturbNet(net, 59) // move weights and running statistics
+
+	got := make([]Output, len(states))
+	inf.ForwardBatch(states, got)
+	for i := range got {
+		// Still the old parameters: bit-identical to the pre-update outputs.
+		assertOutputsEqual(t, "pre-sync sample "+strconv.Itoa(i), &got[i], &stale[i])
+	}
+
+	inf.Sync()
+	want := make([]Output, len(states))
+	net.ForwardBatch(states, want)
+	inf.ForwardBatch(states, got)
+	for i := range got {
+		assertOutputsClose(t, "post-sync sample "+strconv.Itoa(i), &got[i], &want[i], 1e-4)
+	}
+}

@@ -1,0 +1,178 @@
+package tensor
+
+import "fmt"
+
+// Float32 mirrors of the blocked GEMM kernels, backing the inference-only
+// f32 engine in internal/nn. The panel/accumulator structure is identical
+// to the f64 kernels — same j/k tiling, same four-way unrolled reduction —
+// so the per-element reduction order again depends only on the k index and
+// never on the column count. That property is what lets the f32 batch path
+// split batches into depth-blocked tiles (and convolutions into column
+// chunks) while staying bit-for-bit identical to the untiled evaluation.
+//
+// A float32 panel is half the bytes of its f64 twin, so the same
+// gemmNC/gemmKC tile counts leave twice the headroom in L1/L2 — the
+// working-set reduction, not fancier arithmetic, is where the batched
+// inference speedup comes from (plus the compiler vectorizing the wider
+// 4-lane f32 inner loops).
+//
+// These kernels are inference-only by policy: training, its gradients, and
+// every byte-identity oracle stay on the f64 kernels.
+
+func gemmCheck32(name string, a, b, c []float32, la, lb, lc int) {
+	if len(a) < la || len(b) < lb || len(c) < lc {
+		panic(fmt.Sprintf("tensor: %s buffer lengths (%d,%d,%d), need at least (%d,%d,%d)",
+			name, len(a), len(b), len(c), la, lb, lc))
+	}
+}
+
+// GemmNN32 computes C = A·B, or C += A·B when acc is true.
+// A is m×k, B is k×n, C is m×n, all row-major float32.
+func GemmNN32(m, n, k int, a, b, c []float32, acc bool) {
+	gemmCheck32("GemmNN32", a, b, c, m*k, k*n, m*n)
+	if !acc {
+		clear(c[:m*n])
+	}
+	if n == 1 {
+		// Matrix–vector fast path: one four-accumulator dot product per
+		// output row, mirroring GemmNN's n==1 path.
+		for i := 0; i < m; i++ {
+			arow := a[i*k : i*k+k]
+			var s0, s1, s2, s3 float32
+			kk := 0
+			for ; kk+3 < k; kk += 4 {
+				s0 += arow[kk] * b[kk]
+				s1 += arow[kk+1] * b[kk+1]
+				s2 += arow[kk+2] * b[kk+2]
+				s3 += arow[kk+3] * b[kk+3]
+			}
+			s := s0 + s1 + s2 + s3
+			for ; kk < k; kk++ {
+				s += arow[kk] * b[kk]
+			}
+			c[i] += s
+		}
+		return
+	}
+	for j0 := 0; j0 < n; j0 += gemmNC {
+		j1 := min(j0+gemmNC, n)
+		for k0 := 0; k0 < k; k0 += gemmKC {
+			k1 := min(k0+gemmKC, k)
+			for i := 0; i < m; i++ {
+				arow := a[i*k : i*k+k]
+				crow := c[i*n+j0 : i*n+j1]
+				kk := k0
+				for ; kk+3 < k1; kk += 4 {
+					a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+					b0 := b[kk*n+j0 : kk*n+j1]
+					b1 := b[(kk+1)*n+j0 : (kk+1)*n+j1]
+					b2 := b[(kk+2)*n+j0 : (kk+2)*n+j1]
+					b3 := b[(kk+3)*n+j0 : (kk+3)*n+j1]
+					for j := range crow {
+						crow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+					}
+				}
+				for ; kk < k1; kk++ {
+					av := arow[kk]
+					brow := b[kk*n+j0 : kk*n+j1]
+					for j := range crow {
+						crow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatVecBatch32 computes Y = X·Aᵀ for a batch of row vectors: A is m×k
+// row-major, X is nb×k, Y is nb×m. Row bi of Y is bit-identical to
+// GemmNN32(m, 1, k, a, x_bi, y_bi, false) — the four-accumulator dot
+// product order is replicated exactly — while each weight row streams once
+// across the whole batch. This is the batched f32 Dense-layer kernel.
+func MatVecBatch32(m, k, nb int, a, x, y []float32) {
+	gemmCheck32("MatVecBatch32", a, x, y, m*k, nb*k, nb*m)
+	for i := 0; i < m; i++ {
+		arow := a[i*k : i*k+k]
+		for bi := 0; bi < nb; bi++ {
+			xrow := x[bi*k : bi*k+k]
+			var s0, s1, s2, s3 float32
+			kk := 0
+			for ; kk+3 < k; kk += 4 {
+				s0 += arow[kk] * xrow[kk]
+				s1 += arow[kk+1] * xrow[kk+1]
+				s2 += arow[kk+2] * xrow[kk+2]
+				s3 += arow[kk+3] * xrow[kk+3]
+			}
+			s := s0 + s1 + s2 + s3
+			for ; kk < k; kk++ {
+				s += arow[kk] * xrow[kk]
+			}
+			y[bi*m+i] = s
+		}
+	}
+}
+
+// GemmNT32 computes C = A·Bᵀ, or C += A·Bᵀ when acc is true.
+// A is m×k, B is n×k (used transposed), C is m×n, all row-major float32.
+// Structure mirrors GemmNT: B-row panels reused across the i sweep, four C
+// elements per A-row pass.
+func GemmNT32(m, n, k int, a, b, c []float32, acc bool) {
+	gemmCheck32("GemmNT32", a, b, c, m*k, n*k, m*n)
+	if !acc {
+		clear(c[:m*n])
+	}
+	if k == 1 {
+		for i := 0; i < m; i++ {
+			av := a[i]
+			crow := c[i*n : i*n+n]
+			for j, bv := range b[:n] {
+				crow[j] += av * bv
+			}
+		}
+		return
+	}
+	// Same panel sizing rule as the f64 kernel (counted in elements, so the
+	// f32 panel is half the bytes).
+	jc := max(4, 32768/k)
+	for j0 := 0; j0 < n; j0 += jc {
+		j1 := min(j0+jc, n)
+		for i := 0; i < m; i++ {
+			arow := a[i*k : i*k+k]
+			crow := c[i*n : i*n+n]
+			j := j0
+			for ; j+3 < j1; j += 4 {
+				b0 := b[j*k : j*k+k]
+				b1 := b[(j+1)*k : (j+1)*k+k]
+				b2 := b[(j+2)*k : (j+2)*k+k]
+				b3 := b[(j+3)*k : (j+3)*k+k]
+				var s0, s1, s2, s3 float32
+				for kk, av := range arow {
+					s0 += av * b0[kk]
+					s1 += av * b1[kk]
+					s2 += av * b2[kk]
+					s3 += av * b3[kk]
+				}
+				crow[j] += s0
+				crow[j+1] += s1
+				crow[j+2] += s2
+				crow[j+3] += s3
+			}
+			for ; j < j1; j++ {
+				brow := b[j*k : j*k+k]
+				var s0, s1, s2, s3 float32
+				kk := 0
+				for ; kk+3 < k; kk += 4 {
+					s0 += arow[kk] * brow[kk]
+					s1 += arow[kk+1] * brow[kk+1]
+					s2 += arow[kk+2] * brow[kk+2]
+					s3 += arow[kk+3] * brow[kk+3]
+				}
+				s := s0 + s1 + s2 + s3
+				for ; kk < k; kk++ {
+					s += arow[kk] * brow[kk]
+				}
+				crow[j] += s
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+func randF32F64(rng *rand.Rand, n int) ([]float32, []float64) {
+	f32 := make([]float32, n)
+	f64 := make([]float64, n)
+	for i := range f32 {
+		v := float32(rng.NormFloat64())
+		f32[i] = v
+		f64[i] = float64(v) // both precisions see the exact same values
+	}
+	return f32, f64
+}
+
+// assertTol32 compares an f32 result against the f64 reference with a
+// relative tolerance scaled by sqrt(k) accumulation error.
+func assertTol32(t *testing.T, tag string, got []float32, want []float64, k int) {
+	t.Helper()
+	tol := 1e-5 * math.Sqrt(float64(max(k, 1)))
+	for i := range want {
+		diff := math.Abs(float64(got[i]) - want[i])
+		if diff > tol*math.Max(1, math.Abs(want[i])) {
+			t.Fatalf("%s: element %d: got %v want %v (diff %v, tol %v)",
+				tag, i, got[i], want[i], diff, tol)
+		}
+	}
+}
+
+// The f32 GEMM kernels must agree with the f64 kernels to float32
+// accumulation accuracy on identical inputs, across the blocked path, the
+// fast paths, and the accumulate flag.
+func TestGemmNN32MatchesF64(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, sz := range []struct{ m, n, k int }{
+		{3, 1, 7},    // n==1 matrix–vector fast path
+		{5, 9, 4},    // small blocked
+		{16, 600, 5}, // crosses the gemmNC column-panel boundary
+		{4, 17, 131}, // crosses the gemmKC reduction-panel boundary
+	} {
+		tag := strconv.Itoa(sz.m) + "x" + strconv.Itoa(sz.n) + "x" + strconv.Itoa(sz.k)
+		a32, a64 := randF32F64(rng, sz.m*sz.k)
+		b32, b64 := randF32F64(rng, sz.k*sz.n)
+		c32, c64 := randF32F64(rng, sz.m*sz.n)
+		GemmNN32(sz.m, sz.n, sz.k, a32, b32, c32, false)
+		GemmNN(sz.m, sz.n, sz.k, a64, b64, c64, false)
+		assertTol32(t, "GemmNN "+tag, c32, c64, sz.k)
+
+		// acc=true accumulates on top of the previous result.
+		GemmNN32(sz.m, sz.n, sz.k, a32, b32, c32, true)
+		GemmNN(sz.m, sz.n, sz.k, a64, b64, c64, true)
+		assertTol32(t, "GemmNN+acc "+tag, c32, c64, 2*sz.k)
+	}
+}
+
+func TestGemmNT32MatchesF64(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for _, sz := range []struct{ m, n, k int }{
+		{4, 6, 1},  // k==1 rank-1 fast path
+		{5, 9, 13}, // remainder columns after the 4-wide pass
+		{8, 40, 70},
+	} {
+		tag := strconv.Itoa(sz.m) + "x" + strconv.Itoa(sz.n) + "x" + strconv.Itoa(sz.k)
+		a32, a64 := randF32F64(rng, sz.m*sz.k)
+		b32, b64 := randF32F64(rng, sz.n*sz.k)
+		c32 := make([]float32, sz.m*sz.n)
+		c64 := make([]float64, sz.m*sz.n)
+		GemmNT32(sz.m, sz.n, sz.k, a32, b32, c32, false)
+		GemmNT(sz.m, sz.n, sz.k, a64, b64, c64, false)
+		assertTol32(t, "GemmNT "+tag, c32, c64, sz.k)
+	}
+}
+
+// MatVecBatch32 must be bit-identical, per sample, to GemmNN32's n==1
+// matrix–vector fast path — the f32 twin of TestMatVecBatchMatchesGemmNN,
+// and the property that makes batched f32 Dense layers independent of the
+// batch tiling.
+func TestMatVecBatch32MatchesGemmNN32(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for _, sz := range []struct{ m, k, nb int }{
+		{7, 13, 4}, {1, 1, 1}, {32, 50, 8}, {4, 3, 5},
+	} {
+		t.Run(strconv.Itoa(sz.m)+"x"+strconv.Itoa(sz.k)+"b"+strconv.Itoa(sz.nb), func(t *testing.T) {
+			a, _ := randF32F64(rng, sz.m*sz.k)
+			x, _ := randF32F64(rng, sz.nb*sz.k)
+			y := make([]float32, sz.nb*sz.m)
+			MatVecBatch32(sz.m, sz.k, sz.nb, a, x, y)
+			want := make([]float32, sz.m)
+			for bi := 0; bi < sz.nb; bi++ {
+				GemmNN32(sz.m, 1, sz.k, a, x[bi*sz.k:(bi+1)*sz.k], want, false)
+				for i, v := range want {
+					if y[bi*sz.m+i] != v {
+						t.Fatalf("sample %d out %d: got %v want %v", bi, i, y[bi*sz.m+i], v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Im2col32 is pure data movement: its output must equal the f64 Im2col
+// output element-for-element (exact, not tolerance) on identical inputs.
+func TestIm2col32MatchesF64Exactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	const (
+		inC, h, w = 3, 6, 7
+		k         = 3
+		pad       = (k - 1) / 2
+	)
+	x32, x64 := randF32F64(rng, inC*h*w)
+	cols32 := make([]float32, inC*k*k*h*w)
+	cols64 := make([]float64, inC*k*k*h*w)
+	Im2col32(x32, inC, h, w, k, pad, cols32)
+	Im2col(x64, inC, h, w, k, pad, cols64)
+	for i := range cols64 {
+		if float64(cols32[i]) != cols64[i] {
+			t.Fatalf("col %d: got %v want %v", i, cols32[i], cols64[i])
+		}
+	}
+}
+
+// Im2colBatch32 must reproduce, for every sample in the chunk, exactly the
+// column block Im2col32 produces for that sample alone — the foundation of
+// the f32 batch path's tiling invariance (f32 twin of
+// TestIm2colBatchMatchesPerSample).
+func TestIm2colBatch32MatchesPerSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	const (
+		inC, nb, h, w = 3, 5, 6, 7
+		k             = 3
+		pad           = (k - 1) / 2
+	)
+	hw := h * w
+	ickk := inC * k * k
+	x := make([]float32, inC*nb*hw)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	single := make([]float32, inC*hw)
+	want := make([]float32, ickk*hw)
+	for s0 := 0; s0 < nb; s0++ {
+		for cb := 1; s0+cb <= nb; cb++ {
+			cols := make([]float32, ickk*cb*hw)
+			Im2colBatch32(x, inC, nb, s0, cb, h, w, k, pad, cols)
+			for bi := 0; bi < cb; bi++ {
+				for ic := 0; ic < inC; ic++ {
+					copy(single[ic*hw:(ic+1)*hw], x[(ic*nb+s0+bi)*hw:(ic*nb+s0+bi+1)*hw])
+				}
+				Im2col32(single, inC, h, w, k, pad, want)
+				for r := 0; r < ickk; r++ {
+					got := cols[r*cb*hw+bi*hw : r*cb*hw+(bi+1)*hw]
+					for j, v := range got {
+						if v != want[r*hw+j] {
+							t.Fatalf("s0=%d cb=%d sample %d row %d col %d: got %v want %v",
+								s0, cb, bi, r, j, v, want[r*hw+j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// GemmNN32's per-element reduction order must not depend on the column
+// count: evaluating a wide B column-block-by-column-block (as the depth-
+// blocked conv path does via Im2colBatch32 chunks) gives bit-identical
+// results to one wide call. The guarantee covers the blocked path (n ≥ 2);
+// n == 1 takes the matrix–vector fast path with its own accumulator order,
+// which the conv path never hits (its column count is ≥ the spatial map
+// size, at least 4).
+func TestGemmNN32ColumnChunkInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	const m, k, n = 5, 37, 24
+	a, _ := randF32F64(rng, m*k)
+	b, _ := randF32F64(rng, k*n)
+	wide := make([]float32, m*n)
+	GemmNN32(m, n, k, a, b, wide, false)
+	for _, chunk := range []int{2, 5, 8, n} {
+		got := make([]float32, m*n)
+		bcol := make([]float32, k*chunk)
+		ccol := make([]float32, m*chunk)
+		for j0 := 0; j0 < n; j0 += chunk {
+			cb := min(chunk, n-j0)
+			for kk := 0; kk < k; kk++ {
+				copy(bcol[kk*cb:(kk+1)*cb], b[kk*n+j0:kk*n+j0+cb])
+			}
+			GemmNN32(m, cb, k, a, bcol, ccol, false)
+			for i := 0; i < m; i++ {
+				copy(got[i*n+j0:i*n+j0+cb], ccol[i*cb:(i+1)*cb])
+			}
+		}
+		for i := range wide {
+			if got[i] != wide[i] {
+				t.Fatalf("chunk %d: element %d: got %v want %v", chunk, i, got[i], wide[i])
+			}
+		}
+	}
+}

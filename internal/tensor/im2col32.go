@@ -1,0 +1,96 @@
+package tensor
+
+import "fmt"
+
+// Float32 mirrors of the im2col lowering for the inference-only f32 engine.
+// Both routines only move data (bulk copies plus border zeroing, no
+// arithmetic), so their outputs are exactly the element-wise float32
+// conversion of their f64 twins' outputs, and the batched variant's
+// per-sample column blocks match Im2col32 on that sample bit-for-bit.
+// Col2im has no f32 mirror: gradients stay f64-only.
+
+func im2colCheck32(name string, x, cols []float32, inC, h, w, k, pad int) {
+	if inC < 1 || h < 1 || w < 1 || k < 1 || pad < 0 {
+		panic(fmt.Sprintf("tensor: %s invalid geometry inC=%d h=%d w=%d k=%d pad=%d",
+			name, inC, h, w, k, pad))
+	}
+	if len(x) < inC*h*w || len(cols) < inC*k*k*h*w {
+		panic(fmt.Sprintf("tensor: %s buffers (%d,%d), need (%d,%d)",
+			name, len(x), len(cols), inC*h*w, inC*k*k*h*w))
+	}
+}
+
+// Im2col32 unrolls the (inC, h, w) float32 feature map x into the
+// (inC·k·k, h·w) column matrix cols for a stride-1 convolution with the
+// given zero padding; see Im2col for the row/column layout.
+func Im2col32(x []float32, inC, h, w, k, pad int, cols []float32) {
+	im2colCheck32("Im2col32", x, cols, inC, h, w, k, pad)
+	hw := h * w
+	r := 0
+	for ic := 0; ic < inC; ic++ {
+		xc := x[ic*hw : (ic+1)*hw]
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				dst := cols[r*hw : (r+1)*hw]
+				ox0 := max(0, pad-kx)
+				ox1 := min(w, w+pad-kx)
+				for oy := 0; oy < h; oy++ {
+					iy := oy + ky - pad
+					drow := dst[oy*w : (oy+1)*w]
+					if iy < 0 || iy >= h || ox0 >= ox1 {
+						clear(drow)
+						continue
+					}
+					clear(drow[:ox0])
+					copy(drow[ox0:ox1], xc[iy*w+ox0+kx-pad:iy*w+ox1+kx-pad])
+					clear(drow[ox1:])
+				}
+				r++
+			}
+		}
+	}
+}
+
+// Im2colBatch32 unrolls cb consecutive samples (starting at s0) of a
+// channel-major (inC, nb, h, w) float32 batch into one wide column matrix;
+// see Im2colBatch for the layout. Sample bi's column block is exactly what
+// Im2col32 would produce for that sample alone, which keeps batched f32
+// convolutions bit-identical across batch tilings.
+func Im2colBatch32(x []float32, inC, nb, s0, cb, h, w, k, pad int, cols []float32) {
+	if inC < 1 || h < 1 || w < 1 || k < 1 || pad < 0 || nb < 1 || cb < 1 ||
+		s0 < 0 || s0+cb > nb {
+		panic(fmt.Sprintf("tensor: Im2colBatch32 invalid geometry inC=%d nb=%d s0=%d cb=%d h=%d w=%d k=%d pad=%d",
+			inC, nb, s0, cb, h, w, k, pad))
+	}
+	hw := h * w
+	if len(x) < inC*nb*hw || len(cols) < inC*k*k*cb*hw {
+		panic(fmt.Sprintf("tensor: Im2colBatch32 buffers (%d,%d), need (%d,%d)",
+			len(x), len(cols), inC*nb*hw, inC*k*k*cb*hw))
+	}
+	r := 0
+	for ic := 0; ic < inC; ic++ {
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				rowBase := r * cb * hw
+				ox0 := max(0, pad-kx)
+				ox1 := min(w, w+pad-kx)
+				for bi := 0; bi < cb; bi++ {
+					xc := x[(ic*nb+s0+bi)*hw : (ic*nb+s0+bi+1)*hw]
+					dst := cols[rowBase+bi*hw : rowBase+(bi+1)*hw]
+					for oy := 0; oy < h; oy++ {
+						iy := oy + ky - pad
+						drow := dst[oy*w : (oy+1)*w]
+						if iy < 0 || iy >= h || ox0 >= ox1 {
+							clear(drow)
+							continue
+						}
+						clear(drow[:ox0])
+						copy(drow[ox0:ox1], xc[iy*w+ox0+kx-pad:iy*w+ox1+kx-pad])
+						clear(drow[ox1:])
+					}
+				}
+				r++
+			}
+		}
+	}
+}
