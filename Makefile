@@ -30,10 +30,14 @@ bench-nn:
 	$(GO) test -bench 'BenchmarkDNN|BenchmarkGemm|BenchmarkIm2col' -benchmem -run '^$$' .
 
 # Quick iteration loop for the simulator hot path (zero-alloc Step/Run:
-# flit pools, head-index queues, routing caches). Allocation counts are
-# the regression signal — internal/sim's AllocsPerRun tests pin them at
-# zero per steady-state cycle. Before/after numbers for PR 3 live in
-# BENCH_PR3.json.
+# flit pools, head-index queues, routing caches, active-set sparse
+# stepping). Allocation counts are the regression signal — internal/sim's
+# AllocsPerRun tests pin them at zero per steady-state cycle — and the
+# SimRun matrix covers low rates (-r0.01/-r0.02, where sparse stepping
+# pays) plus near saturation (bare ring8x8/mesh8x8, where it must not
+# regress); BenchmarkSimRunDense is the dense-oracle "before" column.
+# PR 3 numbers live in BENCH_PR3.json, the sparse-vs-dense rows in
+# BENCH_PR8.json.
 bench-sim:
 	$(GO) test -bench 'BenchmarkRingStep|BenchmarkMeshStep|BenchmarkSimRun' -benchmem -run '^$$' .
 

@@ -45,6 +45,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run (load in Perfetto) to this path")
 	manifestPath := flag.String("manifest", "", "append a JSONL run-provenance manifest to this path")
 	progress := flag.Int("progress", 0, "print a progress line to stderr every N simulated cycles (0 = off)")
+	dense := flag.Bool("dense", false, "disable active-set sparse stepping (dense oracle walk; same results, slower below saturation)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "sweep points simulated in parallel (1 = sequential; output is identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	flag.Parse()
@@ -87,6 +88,7 @@ func main() {
 		manifest.Set("rates", *rates)
 		manifest.Set("warmup", *warmup)
 		manifest.Set("measure", *measure)
+		manifest.Set("dense", *dense)
 	}
 	// finishRun writes the trace and manifest once simulation is done (the
 	// trace only after all sweep workers have quiesced).
@@ -118,7 +120,11 @@ func main() {
 	switch {
 	case *meshN > 0:
 		rows, cols, linkBits = *meshN, *meshN, 256
-		mk = func() sim.Network { return sim.NewMesh(rows, cols, sim.MeshN(*delay)) }
+		mk = func() sim.Network {
+			mc := sim.MeshN(*delay)
+			mc.DenseStep = *dense
+			return sim.NewMesh(rows, cols, mc)
+		}
 	case *topoPath != "":
 		data, err := os.ReadFile(*topoPath)
 		if err != nil {
@@ -132,7 +138,11 @@ func main() {
 			fatal(fmt.Errorf("topology %s is not fully connected", *topoPath))
 		}
 		rows, cols, linkBits = t.Rows(), t.Cols(), 128
-		mk = func() sim.Network { return sim.NewRing(&t, sim.DefaultRingConfig()) }
+		mk = func() sim.Network {
+			rc := sim.DefaultRingConfig()
+			rc.DenseStep = *dense
+			return sim.NewRing(&t, rc)
+		}
 	default:
 		fatal(fmt.Errorf("need -topo or -mesh"))
 	}
@@ -148,8 +158,14 @@ func main() {
 			return nil
 		}
 		return func(s sim.IntervalStats) {
-			fmt.Fprintf(os.Stderr, "nocsim: %s%s cycle=%d inflight=%d thr=%.4f buf=%d\n",
-				prefix, s.Phase, s.Cycle, s.InFlight, s.Throughput, s.BufferOccupancy)
+			// act is the number of loops (ring) or routers (mesh) the
+			// sparse stepper is visiting — how sparse the run is.
+			act := s.ActiveLoops
+			if act < 0 {
+				act = s.ActiveRouters
+			}
+			fmt.Fprintf(os.Stderr, "nocsim: %s%s cycle=%d inflight=%d thr=%.4f buf=%d act=%d\n",
+				prefix, s.Phase, s.Cycle, s.InFlight, s.Throughput, s.BufferOccupancy, act)
 		}
 	}
 	if *progress > 0 {

@@ -103,6 +103,43 @@ func TestStepZeroAllocWithNilTraceSpan(t *testing.T) {
 	}
 }
 
+// The low-rate pins repeat the steady-state contract in the regime the
+// active-set work targets: a near-idle network where sparse stepping
+// skips almost every loop/router must still run whole cycles — set
+// compaction, ejDirty resets, bufCount updates included — without
+// touching the heap. The dense variants pin the oracle path too, since
+// parity tests run it at scale.
+
+func TestRingSparseLowRateZeroAlloc(t *testing.T) {
+	tp := rec.MustGenerate(8)
+	net := NewRing(tp, DefaultRingConfig())
+	src := traffic.NewInjector(8, 8, traffic.UniformRandom, 0.01, 128, 1)
+	testZeroAllocCycle(t, net, src)
+}
+
+func TestMeshSparseLowRateZeroAlloc(t *testing.T) {
+	net := NewMesh(8, 8, MeshN(2))
+	src := traffic.NewInjector(8, 8, traffic.UniformRandom, 0.01, 256, 1)
+	testZeroAllocCycle(t, net, src)
+}
+
+func TestRingDenseStepZeroAlloc(t *testing.T) {
+	tp := rec.MustGenerate(8)
+	cfg := DefaultRingConfig()
+	cfg.DenseStep = true
+	net := NewRing(tp, cfg)
+	src := traffic.NewInjector(8, 8, traffic.UniformRandom, 0.1, 128, 1)
+	testZeroAllocCycle(t, net, src)
+}
+
+func TestMeshDenseStepZeroAlloc(t *testing.T) {
+	cfg := MeshN(2)
+	cfg.DenseStep = true
+	net := NewMesh(8, 8, cfg)
+	src := traffic.NewInjector(8, 8, traffic.UniformRandom, 0.1, 256, 1)
+	testZeroAllocCycle(t, net, src)
+}
+
 // TestRunAllocsConstantPerRun pins the other half of the contract: total
 // allocations of a full sim.Run grow with the setup (pool blocks, ledger,
 // stats), not with the cycle count. Doubling the measured window must not

@@ -24,6 +24,11 @@ func (r *Ring) FailLoop(idx int) {
 		return
 	}
 	r.failed[idx] = true
+	// Invalidate the sparse-stepping active sets: occupancy counters and
+	// the live-slot total change under this function's feet, so the next
+	// sparse Step rebuilds them from ground truth (O(topology), once per
+	// failure).
+	r.dirtyEpoch++
 
 	// Drop in-flight flits on the failed loop; their packets are lost.
 	ls := r.loops[idx]

@@ -13,6 +13,11 @@ type MeshConfig struct {
 	VCs         int
 	BufferFlits int
 	RouterDelay int // pipeline cycles per router
+	// DenseStep disables active-set sparse stepping: every router runs
+	// its ejection/switch/injection phases every cycle, the pre-sparse
+	// behavior. Kept as the byte-identity oracle for the sparse path
+	// (see RingConfig.DenseStep).
+	DenseStep bool
 }
 
 // MeshN returns the paper's Mesh-N configuration (N = router delay).
@@ -54,8 +59,6 @@ type router struct {
 	credits [mesh.NumPorts][]int
 	// downVCBusy[port][vc] = downstream VC currently owned by a packet.
 	downVCBusy [mesh.NumPorts][]bool
-	// rrIn round-robin pointer per output port for switch arbitration.
-	rrIn [mesh.NumPorts]int
 }
 
 // delivery is a flit in transit through the router pipeline + link.
@@ -94,9 +97,21 @@ type Mesh struct {
 	// recycle, when set, reclaims a completed packet (the Run freelist).
 	recycle func(*Packet)
 
-	srcQueue  []queue[*Packet]
-	srcSent   []int // flits of head packet already injected
-	srcVC     []int // local VC chosen for the head packet mid-injection
+	srcQueue []queue[*Packet]
+	srcSent  []int // flits of head packet already injected
+	srcVC    []int // local VC chosen for the head packet mid-injection
+
+	// Active-set state for sparse stepping: bufCount[id] counts the flits
+	// across all of router id's input VCs (maintained at every fifo
+	// push/pop site, in dense mode too so either mode can audit it), and
+	// active is exactly the routers with buffered flits or queued source
+	// packets — the only routers whose ejection/switch/injection phases
+	// are not provably no-ops. Neighbors activate when a pipe delivery
+	// lands a flit in their input VC.
+	bufCount []int32
+	active   activeSet
+	dense    bool
+
 	cycle     int
 	inFlight  int
 	util      int64
@@ -116,6 +131,9 @@ func NewMesh(rows, cols int, cfg MeshConfig) *Mesh {
 		srcQueue: make([]queue[*Packet], rows*cols),
 		srcSent:  make([]int, rows*cols),
 		srcVC:    make([]int, rows*cols),
+		bufCount: make([]int32, rows*cols),
+		active:   newActiveSet(rows * cols),
+		dense:    cfg.DenseStep,
 	}
 	for id := 0; id < rows*cols; id++ {
 		r := &router{node: topo.NodeFromID(id, cols)}
@@ -154,16 +172,36 @@ func (m *Mesh) InFlight() int { return m.inFlight }
 func (m *Mesh) Inject(p *Packet) {
 	p.remaining = p.NumFlits
 	m.srcQueue[p.Src].push(p)
+	if !m.dense {
+		m.active.add(p.Src)
+	}
 	m.inFlight++
 }
 
 // Step implements Network. Phases: deliver pipelined flits into downstream
 // buffers; switch allocation + traversal at every router; NI injection and
 // ejection.
+//
+// By default the router phases are *sparse*: only routers with a
+// non-empty input VC or a queued source packet are visited (ejection,
+// switch allocation, and injection at an empty router are all provably
+// no-ops), in ascending router order — switch traversal returns credits
+// upstream and appends to the shared pipe, so visit order is observable
+// and must match the dense walk. The pipe-landing phase is already
+// proportional to in-flight flits. Switch arbitration's rotating offset
+// is derived from the cycle counter: the old per-router rrIn counter was
+// incremented unconditionally once per cycle and therefore always equaled
+// the cycle number, so the derivation is bit-identical while letting
+// quiescent routers skip the increment. The dense walk survives as
+// denseStep behind MeshConfig.DenseStep, the sparse path's oracle.
 func (m *Mesh) Step() {
-	// Phase 1: land flits whose pipeline+link delay elapsed. Survivors are
-	// compacted into the retained scratch buffer, then the buffers swap —
-	// no per-cycle slice allocation.
+	if m.dense {
+		m.denseStep()
+		return
+	}
+	// Phase 1: land flits whose pipeline+link delay elapsed, activating
+	// the receiving router. Survivors are compacted into the retained
+	// scratch buffer, then the buffers swap — no per-cycle allocation.
 	keep := m.pipeScratch[:0]
 	for _, d := range m.pipe {
 		if d.at > m.cycle {
@@ -172,6 +210,58 @@ func (m *Mesh) Step() {
 		}
 		rt := m.routers[d.toNode]
 		rt.inputs[d.toPort].vcs[d.toVC].fifo.push(d.flit)
+		m.bufCount[d.toNode]++
+		m.active.add(d.toNode)
+	}
+	m.pipeScratch = m.pipe[:0]
+	m.pipe = keep
+
+	// Phases 2-4 visit only active routers. No additions can occur
+	// mid-sweep: landing happened above, traversal schedules arrivals at
+	// least one cycle out, and injection only touches the router's own
+	// buffers — so the list is stable and removals wait for compaction.
+	list := m.active.list
+	off := m.cycle % len(m.cands)
+	for _, v := range list {
+		m.ejectOne(int(v), m.routers[v])
+	}
+	for _, v := range list {
+		m.switchAlloc(int(v), m.routers[v], off)
+	}
+	for _, v := range list {
+		m.injectOne(int(v))
+	}
+
+	// Compact (order-preserving): drop routers that went fully quiescent.
+	w := 0
+	for _, v := range list {
+		if m.bufCount[v] > 0 || m.srcQueue[v].len() > 0 {
+			list[w] = v
+			w++
+		} else {
+			m.active.mark[v] = false
+		}
+	}
+	m.active.list = list[:w]
+
+	m.utilSamps += int64(2 * m.Nodes()) // rough per-node link pair sample
+	m.util += int64(len(m.pipe))
+	m.cycle++
+}
+
+// denseStep is the pre-sparse cycle: every router runs every phase every
+// cycle. Retained as the byte-identity oracle for sparse stepping
+// (MeshConfig.DenseStep).
+func (m *Mesh) denseStep() {
+	keep := m.pipeScratch[:0]
+	for _, d := range m.pipe {
+		if d.at > m.cycle {
+			keep = append(keep, d)
+			continue
+		}
+		rt := m.routers[d.toNode]
+		rt.inputs[d.toPort].vcs[d.toVC].fifo.push(d.flit)
+		m.bufCount[d.toNode]++
 	}
 	m.pipeScratch = m.pipe[:0]
 	m.pipe = keep
@@ -184,8 +274,9 @@ func (m *Mesh) Step() {
 
 	// Phase 3: route computation + VC allocation + switch allocation +
 	// traversal, one flit per output port, one per input VC.
+	off := m.cycle % len(m.cands)
 	for id, rt := range m.routers {
-		m.switchAlloc(id, rt)
+		m.switchAlloc(id, rt, off)
 	}
 
 	// Phase 4: NI injection into the Local input port.
@@ -213,6 +304,7 @@ func (m *Mesh) ejectOne(id int, rt *router) {
 			// Wormhole ordering: the whole packet drains through this VC
 			// one flit per cycle.
 			vc.fifo.pop()
+			m.bufCount[id]--
 			if p != mesh.Local {
 				m.creditReturnVC(id, p, v)
 			}
@@ -241,14 +333,13 @@ func (m *Mesh) finish(f *meshFlit) {
 }
 
 // switchAlloc performs routing, VC allocation and switch traversal for
-// router id: at most one flit leaves per output port per cycle.
-func (m *Mesh) switchAlloc(id int, rt *router) {
+// router id: at most one flit leaves per output port per cycle. off is
+// the cycle-derived rotating arbitration offset shared by all routers.
+func (m *Mesh) switchAlloc(id int, rt *router, off int) {
 	usedOut := [mesh.NumPorts]bool{}
-	// Iterate all (port, vc) pairs starting from a rotating offset for
+	// Iterate all (port, vc) pairs starting from the rotating offset for
 	// fairness; the candidate list is shared and read-only.
 	cands := m.cands
-	off := rt.rrIn[0] % len(cands)
-	rt.rrIn[0]++
 	for k := 0; k < len(cands); k++ {
 		c := cands[(k+off)%len(cands)]
 		vc := rt.inputs[c.p].vcs[c.vc]
@@ -288,6 +379,7 @@ func (m *Mesh) switchAlloc(id int, rt *router) {
 		// Traverse: consume credit, schedule arrival after pipeline+link.
 		rt.credits[outPort][vc.outVC]--
 		vc.fifo.pop()
+		m.bufCount[id]--
 		if c.p != mesh.Local {
 			m.creditReturnVC(id, c.p, c.vc)
 		}
@@ -376,6 +468,7 @@ func (m *Mesh) injectOne(id int) {
 		m.srcVC[id] = best
 	}
 	rt.inputs[mesh.Local].vcs[best].fifo.push(f)
+	m.bufCount[id]++
 	m.injectedFlits++
 	m.srcSent[id]++
 	if m.srcSent[id] == p.NumFlits {
@@ -399,6 +492,34 @@ func (m *Mesh) BufferOccupancy() int {
 		for _, ip := range rt.inputs {
 			for _, vc := range ip.vcs {
 				n += vc.fifo.len()
+			}
+		}
+	}
+	return n
+}
+
+// ActiveRouters returns the number of routers with buffered flits or
+// queued source packets as of the last completed cycle — the units a
+// sparse cycle actually steps. Dense mode computes it from the
+// ground-truth FIFO/queue state, so comparing the two modes' interval
+// streams doubles as a bufCount-bookkeeping oracle.
+func (m *Mesh) ActiveRouters() int {
+	if !m.dense {
+		return m.active.len()
+	}
+	n := 0
+	for id, rt := range m.routers {
+		if m.srcQueue[id].len() > 0 {
+			n++
+			continue
+		}
+	scan:
+		for _, ip := range rt.inputs {
+			for _, vc := range ip.vcs {
+				if vc.fifo.len() > 0 {
+					n++
+					break scan
+				}
 			}
 		}
 	}

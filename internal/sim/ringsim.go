@@ -19,6 +19,12 @@ type RingConfig struct {
 	// InjectPerCycle is the number of flits a node can source per cycle
 	// (the injection link width; the paper's single-cycle injection).
 	InjectPerCycle int
+	// DenseStep disables active-set sparse stepping: every loop and node
+	// is walked every cycle, the pre-sparse behavior. Sparse stepping is
+	// byte-identical (a skipped step is provably a no-op), so this knob
+	// exists as the oracle for the dense-vs-sparse parity tests and for
+	// before/after benchmarking, mirroring bruteGreedySearch/NaiveForward.
+	DenseStep bool
 }
 
 // DefaultRingConfig matches the paper's REC/DRL setup: single-flit
@@ -72,8 +78,28 @@ type Ring struct {
 	injs  pool[injecting]
 
 	// ejected is Step's per-cycle ejection-port scratch, hoisted here so
-	// the forwarding path allocates nothing.
+	// the forwarding path allocates nothing. Sparse stepping resets only
+	// the entries dirtied last cycle (ejDirty); dense stepping zeroes the
+	// whole array.
 	ejected []int
+	ejDirty []int32
+
+	// Active-set state for sparse stepping (see Step). occ[i] counts the
+	// occupied slots of loop i, maintained at every inject/eject/park/drop
+	// site; loopActive is exactly the loops with occ > 0, extActive the
+	// nodes with parked extension flits, injActive the nodes with queued
+	// source packets. liveSlots caches the summed slot count of all
+	// non-failed loops (the per-cycle slotSamples increment). FailLoop
+	// bumps dirtyEpoch; the next Step rebuilds everything from scratch
+	// when cleanEpoch lags, so mid-run failures keep the sets exact.
+	occ        []int32
+	loopActive activeSet
+	extActive  activeSet
+	injActive  activeSet
+	liveSlots  int64
+	dirtyEpoch uint64
+	cleanEpoch uint64
+	dense      bool
 
 	cycle    int
 	inFlight int
@@ -110,6 +136,8 @@ func NewRing(t *topo.Topology, cfg RingConfig) *Ring {
 		srcQueue:  make([]queue[*injecting], t.N()),
 		extension: make([]ringBuf[*flit], t.N()),
 		ejected:   make([]int, t.N()),
+		ejDirty:   make([]int32, 0, t.N()),
+		dense:     cfg.DenseStep,
 	}
 	for i := range r.extension {
 		r.extension[i] = newRingBuf[*flit](cfg.ExtensionBuffers)
@@ -134,6 +162,11 @@ func NewRing(t *topo.Topology, cfg RingConfig) *Ring {
 		r.posOf = append(r.posOf, pos)
 	}
 	r.loopOccupied = make([]int64, len(r.loops))
+	r.occ = make([]int32, len(r.loops))
+	r.loopActive = newActiveSet(len(r.loops))
+	r.extActive = newActiveSet(t.N())
+	r.injActive = newActiveSet(t.N())
+	r.rebuildActiveSets()
 	r.cacheRoutes()
 	return r
 }
@@ -151,6 +184,47 @@ func (r *Ring) cacheRoutes() {
 			r.routeDist[s*n+d] = int32(r.rt.DistID(s, d))
 		}
 	}
+}
+
+// rebuildActiveSets recomputes the occupancy counters and active sets
+// from the ground-truth slot/buffer/queue state. Called at construction
+// and whenever FailLoop has dirtied the epoch: a failure drops flits,
+// re-routes queued packets, and shrinks the live slot population, so one
+// O(topology) rebuild is simpler to prove correct than patching every
+// failure path incrementally.
+func (r *Ring) rebuildActiveSets() {
+	r.loopActive.clear()
+	r.extActive.clear()
+	r.injActive.clear()
+	r.liveSlots = 0
+	for li, ls := range r.loops {
+		if li < len(r.failed) && r.failed[li] {
+			r.occ[li] = 0
+			continue
+		}
+		r.liveSlots += int64(len(ls.slot))
+		n := int32(0)
+		for _, f := range ls.slot {
+			if f != nil {
+				n++
+			}
+		}
+		r.occ[li] = n
+		if n > 0 {
+			r.loopActive.add(li)
+		}
+	}
+	for n := range r.extension {
+		if r.extension[n].len() > 0 {
+			r.extActive.add(n)
+		}
+	}
+	for n := range r.srcQueue {
+		if r.srcQueue[n].len() > 0 {
+			r.injActive.add(n)
+		}
+	}
+	r.cleanEpoch = r.dirtyEpoch
 }
 
 // injecting tracks a packet mid-injection at its source NI.
@@ -182,6 +256,9 @@ func (r *Ring) Inject(p *Packet) {
 	inj := r.injs.get()
 	inj.pkt, inj.loopIdx, inj.distance = p, li, int(r.routeDist[p.Src*n+p.Dst])
 	r.srcQueue[p.Src].push(inj)
+	if !r.dense {
+		r.injActive.add(p.Src)
+	}
 	r.inFlight++
 }
 
@@ -191,7 +268,175 @@ func (r *Ring) Inject(p *Packet) {
 //     when those are full the flit re-circulates;
 //  2. advance — every remaining flit moves one hop (never stalls);
 //  3. injection — source NIs place queued flits into empty slots.
+//
+// By default the cycle is *sparse*: only loops with occupied slots, nodes
+// with parked extension flits, and nodes with pending injections are
+// visited, so the per-cycle cost is proportional to activity rather than
+// topology size. The invariant making this safe is that every skipped
+// unit's step is provably a no-op (an empty loop ejects nothing, advances
+// nothing, and swaps two all-nil arrays; an empty buffer or queue drains
+// nothing), so sparse stepping is byte-identical to the dense walk —
+// Results, events, interval stats, and latency histograms all match. The
+// dense walk survives as denseStep behind RingConfig.DenseStep, the
+// oracle the parity tests hold sparse stepping to.
 func (r *Ring) Step() {
+	if r.dense {
+		r.denseStep()
+		return
+	}
+	if r.cleanEpoch != r.dirtyEpoch {
+		r.rebuildActiveSets()
+	}
+	// Reset the ejection-port counters dirtied last cycle.
+	for _, n := range r.ejDirty {
+		r.ejected[n] = 0
+	}
+	r.ejDirty = r.ejDirty[:0]
+
+	// Phase 0: drain extension buffers into ejection ports first (they
+	// arrived earliest). Only nodes with parked flits, in ascending node
+	// order — the same order the dense walk visits them.
+	for _, v := range r.extActive.list {
+		n := int(v)
+		ext := &r.extension[n]
+		for ext.len() > 0 && r.ejected[n] < r.cfg.EjectPorts {
+			r.finishFlit(ext.pop())
+			r.bumpEject(n)
+		}
+	}
+
+	// Phase 1+2: ejection decision and advance, only for loops carrying
+	// flits, in ascending loop order (ejection ports are shared across
+	// loops, so visit order is observable and must match the dense walk).
+	// Slots are nilled as they are read, so after the walk the old slot
+	// array is all-nil and becomes the next cycle's scratch — the all-nil
+	// `next` invariant that lets empty loops skip clearing entirely.
+	for _, v := range r.loopActive.list {
+		li := int(v)
+		ls := r.loops[li]
+		for i, todo := 0, r.occ[li]; todo > 0; i++ {
+			f := ls.slot[i]
+			if f == nil {
+				continue
+			}
+			todo--
+			ls.slot[i] = nil
+			node := ls.nodes[i]
+			if f.pkt.Dst == node {
+				if r.ejected[node] < r.cfg.EjectPorts {
+					r.bumpEject(node)
+					r.finishFlit(f)
+					r.occ[li]--
+					continue
+				}
+				if r.extension[node].len() < r.cfg.ExtensionBuffers {
+					r.extension[node].push(f)
+					r.extActive.add(node)
+					r.occ[li]--
+					continue
+				}
+				// No room: circulate the loop again.
+				r.circulations++
+			}
+			j := i + 1
+			if j == len(ls.slot) {
+				j = 0
+			}
+			f.hops++
+			ls.next[j] = f
+		}
+		ls.slot, ls.next = ls.next, ls.slot
+	}
+
+	// Phase 3: injection, only at nodes with queued packets.
+	for _, v := range r.injActive.list {
+		n := int(v)
+		budget := r.cfg.InjectPerCycle
+		q := &r.srcQueue[n]
+		for budget > 0 && q.len() > 0 {
+			inj := q.front()
+			ls := r.loops[inj.loopIdx]
+			pos := r.posOf[inj.loopIdx][n]
+			if ls.slot[pos] != nil {
+				break // ring traffic has priority; wait for a gap
+			}
+			f := r.flits.get()
+			f.pkt, f.tail = inj.pkt, inj.sent == inj.pkt.NumFlits-1
+			ls.slot[pos] = f
+			r.occ[inj.loopIdx]++
+			r.loopActive.add(inj.loopIdx)
+			r.injectedFlits++
+			inj.sent++
+			budget--
+			if inj.sent == inj.pkt.NumFlits {
+				q.pop()
+				r.injs.put(inj)
+			}
+		}
+	}
+
+	// Utilization sampling from the occupancy counters: liveSlots is the
+	// summed length of all non-failed loops, and occ[li] the flits loop li
+	// carries after injection — integer sums identical to the dense
+	// per-slot walk.
+	r.slotSamples += r.liveSlots
+	for _, v := range r.loopActive.list {
+		occ := int64(r.occ[v])
+		r.slotOccupied += occ
+		r.loopOccupied[v] += occ
+	}
+
+	// Compact the active sets in place (order-preserving): drop loops
+	// that drained, nodes whose extension buffers emptied, and nodes
+	// whose source queues ran dry.
+	w := 0
+	for _, v := range r.loopActive.list {
+		if r.occ[v] > 0 {
+			r.loopActive.list[w] = v
+			w++
+		} else {
+			r.loopActive.mark[v] = false
+		}
+	}
+	r.loopActive.list = r.loopActive.list[:w]
+	w = 0
+	for _, v := range r.extActive.list {
+		if r.extension[v].len() > 0 {
+			r.extActive.list[w] = v
+			w++
+		} else {
+			r.extActive.mark[v] = false
+		}
+	}
+	r.extActive.list = r.extActive.list[:w]
+	w = 0
+	for _, v := range r.injActive.list {
+		if r.srcQueue[v].len() > 0 {
+			r.injActive.list[w] = v
+			w++
+		} else {
+			r.injActive.mark[v] = false
+		}
+	}
+	r.injActive.list = r.injActive.list[:w]
+
+	r.cycle++
+}
+
+// bumpEject counts one ejection at node n this cycle, remembering the
+// node so the next sparse cycle resets only the counters actually used.
+func (r *Ring) bumpEject(n int) {
+	if r.ejected[n] == 0 {
+		r.ejDirty = append(r.ejDirty, int32(n))
+	}
+	r.ejected[n]++
+}
+
+// denseStep is the pre-sparse cycle: every loop slot and every node is
+// walked unconditionally. Retained as the byte-identity oracle for
+// sparse stepping (RingConfig.DenseStep) — TestSparseMatchesDense* hold
+// the two paths to identical Results and interval streams.
+func (r *Ring) denseStep() {
 	ejected := r.ejected
 	for i := range ejected {
 		ejected[i] = 0
@@ -336,6 +581,30 @@ func (r *Ring) BufferOccupancy() int {
 	n := 0
 	for i := range r.extension {
 		n += r.extension[i].len()
+	}
+	return n
+}
+
+// ActiveLoops returns the number of loops carrying at least one flit as
+// of the last completed cycle — the units a sparse cycle actually steps.
+// Dense mode computes it from the ground-truth slot state, so comparing
+// the two modes' interval streams doubles as an occupancy-bookkeeping
+// oracle.
+func (r *Ring) ActiveLoops() int {
+	if !r.dense {
+		return r.loopActive.len()
+	}
+	n := 0
+	for li, ls := range r.loops {
+		if li < len(r.failed) && r.failed[li] {
+			continue
+		}
+		for _, f := range ls.slot {
+			if f != nil {
+				n++
+				break
+			}
+		}
 	}
 	return n
 }

@@ -147,9 +147,20 @@ func Run(net Network, src Source, cfg RunConfig) Result {
 	// One pool per run, one network per run: attach the reclaim hook for
 	// the network models this package owns. Unknown Network implementations
 	// simply skip recycling (packets fall to the GC as before).
+	//
+	// The hook fires for every completed packet, so it doubles as an O(1)
+	// in-flight counter for the drain phase: measuredLeft counts measured
+	// packets not yet delivered, replacing the per-drain-cycle rescan of
+	// the whole measured ledger. Packets lost to loop failures never
+	// complete and so never decrement it — exactly the packets the rescan
+	// also counted as pending for the full drain bound.
 	pkts := pool[Packet]{}
+	measuredLeft := 0
+	hooked := false
 	recycle := func(p *Packet) {
-		if !p.measured {
+		if p.measured {
+			measuredLeft--
+		} else {
 			pkts.put(p)
 		}
 	}
@@ -157,10 +168,12 @@ func Run(net Network, src Source, cfg RunConfig) Result {
 	case *Ring:
 		prev := n.recycle
 		n.recycle = recycle
+		hooked = true
 		defer func() { n.recycle = prev }()
 	case *Mesh:
 		prev := n.recycle
 		n.recycle = recycle
+		hooked = true
 		defer func() { n.recycle = prev }()
 	}
 
@@ -214,15 +227,25 @@ func Run(net Network, src Source, cfg RunConfig) Result {
 			nextID++
 			net.Inject(p)
 			measured = append(measured, p)
+			measuredLeft++
 			res.PacketsSent++
 		}
 		net.Step()
 		probe.tick("measure")
 	}
 	meas.End()
-	// Drain: no further injection.
+	// Drain: no further injection. With the recycle hook installed the
+	// stop condition is the O(1) counter; unknown Network implementations
+	// fall back to rescanning the ledger.
 	drain := cfg.Trace.Start(obs.SpanSimDrain)
-	for i := 0; i < cfg.DrainCycles && pending(measured) > 0; i++ {
+	for i := 0; i < cfg.DrainCycles; i++ {
+		if hooked {
+			if measuredLeft == 0 {
+				break
+			}
+		} else if pending(measured) == 0 {
+			break
+		}
 		net.Step()
 		probe.tick("drain")
 	}
@@ -274,6 +297,12 @@ type IntervalStats struct {
 	// BufferOccupancy counts flits parked in extension buffers (ring) or
 	// input-VC FIFOs (mesh); -1 when the network does not report it.
 	BufferOccupancy int
+	// ActiveLoops/ActiveRouters count the units a sparse cycle actually
+	// steps (occupied loops for the ring, busy routers for the mesh); -1
+	// when the network does not report the gauge. Dense-stepping networks
+	// report the same counts from ground-truth state, so the fields also
+	// serve the dense-vs-sparse oracle.
+	ActiveLoops, ActiveRouters int
 	// Throughput is the accepted flits/node/cycle over the interval.
 	Throughput float64
 }
@@ -291,6 +320,16 @@ type bufferOccupancy interface {
 	BufferOccupancy() int
 }
 
+// activeLoops / activeRouters are implemented by networks with a sparse
+// stepping active set (Ring and Mesh respectively).
+type activeLoops interface {
+	ActiveLoops() int
+}
+
+type activeRouters interface {
+	ActiveRouters() int
+}
+
 // runProbe samples the network every ProbeEvery cycles and fans the sample
 // out to the metrics registry, the event logger, and the OnInterval
 // callback. A nil probe (telemetry disabled) costs one branch per cycle.
@@ -302,14 +341,17 @@ type runProbe struct {
 
 	fc  flitCounts      // nil when the network has no flit counters
 	occ bufferOccupancy // nil when the network has no occupancy probe
+	al  activeLoops     // nil when the network has no loop active set
+	ar  activeRouters   // nil when the network has no router active set
 
 	lastInj, lastEject int64
 
-	injected, ejected *obs.Counter
-	inFlight, bufOcc  *obs.Gauge
-	intervalThr       *obs.Gauge
-	intervalThrHist   *obs.Histogram
-	latency           *obs.Histogram
+	injected, ejected    *obs.Counter
+	inFlight, bufOcc     *obs.Gauge
+	actLoops, actRouters *obs.Gauge
+	intervalThr          *obs.Gauge
+	intervalThrHist      *obs.Histogram
+	latency              *obs.Histogram
 }
 
 func newRunProbe(net Network, cfg RunConfig) *runProbe {
@@ -326,6 +368,8 @@ func newRunProbe(net Network, cfg RunConfig) *runProbe {
 	p := &runProbe{net: net, cfg: cfg, every: every}
 	p.fc, _ = net.(flitCounts)
 	p.occ, _ = net.(bufferOccupancy)
+	p.al, _ = net.(activeLoops)
+	p.ar, _ = net.(activeRouters)
 	if p.fc != nil {
 		p.lastInj, p.lastEject = p.fc.InjectedFlits(), p.fc.DeliveredFlits()
 	}
@@ -334,6 +378,15 @@ func newRunProbe(net Network, cfg RunConfig) *runProbe {
 	p.ejected = reg.Counter("sim.flits_ejected")
 	p.inFlight = reg.Gauge("sim.inflight_packets")
 	p.bufOcc = reg.Gauge("sim.buffer_occupancy")
+	// Register only the gauge the network actually reports, so ring
+	// snapshots don't carry a dead mesh gauge and vice versa (Set on a
+	// nil gauge is a no-op).
+	if p.al != nil {
+		p.actLoops = reg.Gauge("sim.active_loops")
+	}
+	if p.ar != nil {
+		p.actRouters = reg.Gauge("sim.active_routers")
+	}
 	p.intervalThr = reg.Gauge("sim.interval_throughput")
 	p.intervalThrHist = reg.Histogram("sim.interval_throughput_hist")
 	p.latency = reg.Histogram("sim.latency_cycles")
@@ -363,6 +416,8 @@ func (p *runProbe) tick(phase string) {
 		Phase:           phase,
 		InFlight:        p.net.InFlight(),
 		BufferOccupancy: -1,
+		ActiveLoops:     -1,
+		ActiveRouters:   -1,
 	}
 	if p.fc != nil {
 		inj, eject := p.fc.InjectedFlits(), p.fc.DeliveredFlits()
@@ -373,6 +428,12 @@ func (p *runProbe) tick(phase string) {
 	if p.occ != nil {
 		s.BufferOccupancy = p.occ.BufferOccupancy()
 	}
+	if p.al != nil {
+		s.ActiveLoops = p.al.ActiveLoops()
+	}
+	if p.ar != nil {
+		s.ActiveRouters = p.ar.ActiveRouters()
+	}
 
 	p.injected.Add(s.InjectedFlits)
 	p.ejected.Add(s.EjectedFlits)
@@ -380,11 +441,17 @@ func (p *runProbe) tick(phase string) {
 	if s.BufferOccupancy >= 0 {
 		p.bufOcc.Set(float64(s.BufferOccupancy))
 	}
+	if s.ActiveLoops >= 0 {
+		p.actLoops.Set(float64(s.ActiveLoops))
+	}
+	if s.ActiveRouters >= 0 {
+		p.actRouters.Set(float64(s.ActiveRouters))
+	}
 	p.intervalThr.Set(s.Throughput)
 	p.intervalThrHist.Observe(s.Throughput)
 
 	if p.cfg.Events.Enabled(obs.LevelDebug) {
-		p.cfg.Events.Debug(obs.EventInterval, map[string]any{
+		kv := map[string]any{
 			"cycle":      s.Cycle,
 			"phase":      s.Phase,
 			"injected":   s.InjectedFlits,
@@ -392,7 +459,14 @@ func (p *runProbe) tick(phase string) {
 			"inflight":   s.InFlight,
 			"buffer_occ": s.BufferOccupancy,
 			"throughput": s.Throughput,
-		})
+		}
+		if s.ActiveLoops >= 0 {
+			kv["active_loops"] = s.ActiveLoops
+		}
+		if s.ActiveRouters >= 0 {
+			kv["active_routers"] = s.ActiveRouters
+		}
+		p.cfg.Events.Debug(obs.EventInterval, kv)
 	}
 	if p.cfg.OnInterval != nil {
 		p.cfg.OnInterval(s)
