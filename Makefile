@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-nn bench-sim bench-drl bench-infer bench-obs trace-smoke
+.PHONY: ci vet build test race bench bench-nn bench-sim bench-drl bench-infer bench-obs bench-train trace-smoke
 
 ci: vet build test race
 
@@ -60,6 +60,16 @@ bench-drl:
 bench-infer:
 	$(GO) test -bench 'BenchmarkDNNForwardBatch|BenchmarkDNNForward$$' -benchmem -run '^$$' .
 	$(GO) test -bench 'BenchmarkDRLEpisode' -benchmem -run '^$$' ./internal/drl/
+
+# Quick iteration loop for the batched trajectory trainer (rl.A2C tiles
+# driving nn.ForwardBatchTrain/BackwardBatch over the fused padded-plane
+# conv kernels): sequential-vs-batched A2CAccumulate at H ∈ {8,16,32} on the
+# 8×8 and 10×10 nets, plus the end-to-end episode benchmark. The regression
+# signals are allocs/op = 0 on the warmed trainer and the seq/batched
+# ns/step ratio. Before/after numbers for PR 9 live in BENCH_PR9.json.
+bench-train:
+	$(GO) test -bench 'BenchmarkA2CAccumulate' -benchmem -run '^$$' ./internal/rl/
+	$(GO) test -bench 'BenchmarkDRLEpisode$$' -benchmem -run '^$$' ./internal/drl/
 
 # Tracing-overhead gate (PR 6): traced vs untraced episode and sim-run
 # pairs, plus the span/histogram micro-benchmarks. The disabled path must

@@ -43,6 +43,14 @@ type Config struct {
 	NN nn.Config
 	// LR/GradClip/Gamma drive actor-critic training (Eqs. 17–20).
 	LR, GradClip, Gamma float64
+	// TrainBatch is the tile size of the batched trajectory update: each
+	// worker's A2C pass evaluates up to this many trajectory steps per fused
+	// ForwardBatchTrain/BackwardBatch cycle instead of one Forward/Backward
+	// per step. Both paths accumulate bit-identical gradients and BatchNorm
+	// statistics, so this is purely a throughput knob. Zero selects the
+	// rl.DefaultA2C tile; negative values force the per-step sequential
+	// path (the byte-identity oracle).
+	TrainBatch int
 	// MaxPenalties bounds consecutive non-valid actions before the
 	// episode falls back to the greedy action.
 	MaxPenalties int
@@ -353,7 +361,13 @@ func (s *Searcher) worker(tid, episodes int) {
 			s.broker.Sync(weights, stats)
 		}
 	}
-	a2c := rl.A2C{Gamma: s.cfg.Gamma, ValueCoeff: 0.5}
+	a2c := rl.A2C{Gamma: s.cfg.Gamma, ValueCoeff: 0.5, TrainBatch: rl.DefaultA2C().TrainBatch}
+	switch {
+	case s.cfg.TrainBatch > 0:
+		a2c.TrainBatch = s.cfg.TrainBatch
+	case s.cfg.TrainBatch < 0:
+		a2c.TrainBatch = 0 // sequential per-step oracle
+	}
 	ar := s.newArena()
 	// One trace shard per worker goroutine (the ownership rule): all of
 	// this worker's spans land on one track.
@@ -604,15 +618,24 @@ func (s *Searcher) chooseAction(net *nn.PolicyValueNet, env *rl.Env, fp string, 
 	}
 	if s.cfg.UseMCTS {
 		sel := ar.trace.Start(obs.SpanMCTSSelect)
-		a, ok := s.tree.Select(fp)
-		sel.End()
-		if ok {
-			// Selected edges can be stale (the cap may forbid them now);
-			// verify and fall through to expansion if unplayable.
+		// Selected edges can be stale: the overlap cap constrains against
+		// the evolving design, so an action recorded on one episode's path
+		// may be forbidden on this one's. A stale selection is pruned from
+		// the node and selection retries among the survivors — abandoning
+		// the tree here would leak the dead edge (it stays the argmax and
+		// shadows its siblings forever) and waste the node's statistics.
+		for {
+			a, ok := s.tree.Select(fp)
+			if !ok {
+				break
+			}
 			if env.Legal(a) {
+				sel.End()
 				return a, true
 			}
+			s.tree.Prune(fp, a)
 		}
+		sel.End()
 	}
 	ex := ar.trace.Start(obs.SpanMCTSExpand)
 	legal := env.LegalActions()

@@ -1,10 +1,14 @@
 package drl
 
 import (
+	"math/rand"
 	"testing"
 
+	"routerless/internal/mcts"
 	"routerless/internal/nn"
 	"routerless/internal/rec"
+	"routerless/internal/rl"
+	"routerless/internal/topo"
 )
 
 func quickCfg(n, cap, episodes int) Config {
@@ -23,6 +27,58 @@ func TestNewValidatesConfig(t *testing.T) {
 	}
 	if _, err := New(Config{N: 4, OverlapCap: 6, NN: nn.Config{N: 8}}); err == nil {
 		t.Fatal("accepted mismatched NN size")
+	}
+}
+
+// TestChooseActionPrunesStaleEdges is the regression test for the stale-edge
+// leak: penalized (never-legal) actions enter the tree through Backup, and a
+// high backed-up return can make such an edge the selection argmax forever.
+// chooseAction must prune the unplayable edge and re-select among the
+// survivors — not abandon the node for prior sampling while the dead edge
+// keeps shadowing its siblings.
+func TestChooseActionPrunesStaleEdges(t *testing.T) {
+	cfg := quickCfg(4, 6, 1)
+	cfg.UseDNN = false
+	cfg.Epsilon = 0 // never defer to the greedy override
+	s := MustNew(cfg)
+	ar := s.newArena()
+	env := ar.env
+	env.Reset()
+	fp := env.Fingerprint()
+	state := env.StateInto(ar.stateBuf(0))
+	ar.states[0] = state
+
+	legal := env.LegalActions()
+	priors := make([]float64, len(legal))
+	for i := range priors {
+		priors[i] = 1
+	}
+	s.tree.Expand(fp, legal, priors)
+	// A degenerate rectangle is never legal, but Backup happily records it
+	// (episodes back up their full path, penalized steps included). The huge
+	// return makes it the argmax by a wide margin.
+	stale := rl.Action{X1: 1, Y1: 1, X2: 1, Y2: 1, Dir: topo.Clockwise}
+	if env.Legal(stale) {
+		t.Fatal("degenerate action unexpectedly legal")
+	}
+	s.tree.Backup([]mcts.PathStep{{Fingerprint: fp, Action: stale}}, []float64{1e6})
+	if a, ok := s.tree.Select(fp); !ok || a != stale {
+		t.Fatalf("setup: Select returned %v, want the stale edge %v", a, stale)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	a, ok := s.chooseAction(nil, env, fp, state, rng, ar)
+	if !ok {
+		t.Fatal("chooseAction found no action")
+	}
+	if !env.Legal(a) {
+		t.Fatalf("chooseAction returned illegal action %v", a)
+	}
+	if _, exists := s.tree.EdgeStats(fp)[stale]; exists {
+		t.Fatal("stale edge survived chooseAction")
+	}
+	if next, ok := s.tree.Select(fp); !ok || !env.Legal(next) {
+		t.Fatalf("post-prune Select returned %v (ok=%v), want a legal action", next, ok)
 	}
 }
 
@@ -107,6 +163,65 @@ func TestSearchMultiThreaded(t *testing.T) {
 	}
 	if len(res.Valid) == 0 {
 		t.Fatal("multithreaded search found nothing")
+	}
+	for _, d := range res.Valid {
+		if !d.Topo.FullyConnected() || d.Topo.MaxOverlap() > 6 {
+			t.Fatal("invalid design recorded as valid")
+		}
+	}
+}
+
+// TestSearchBatchedTrainingNoDrift is the same-seed search-drift gate for
+// the batched trajectory update: a single-threaded search trained through
+// the fused ForwardBatchTrain/BackwardBatch tiles must reproduce the
+// sequential per-step trainer's run exactly — same episode outcomes, same
+// per-episode value MSE to the bit, same designs — because the two paths
+// accumulate bit-identical gradients and BatchNorm statistics.
+func TestSearchBatchedTrainingNoDrift(t *testing.T) {
+	run := func(trainBatch int) *Result {
+		cfg := quickCfg(4, 6, 6)
+		cfg.TrainBatch = trainBatch
+		return MustNew(cfg).Run()
+	}
+	seq := run(-1) // the sequential per-step oracle
+	for _, tile := range []int{2, 16} {
+		bat := run(tile)
+		if seq.Episodes != bat.Episodes || seq.TreeSize != bat.TreeSize {
+			t.Fatalf("tile %d: run shape drifted: %d episodes/%d nodes vs %d/%d",
+				tile, seq.Episodes, seq.TreeSize, bat.Episodes, bat.TreeSize)
+		}
+		if len(seq.ValueMSE) != len(bat.ValueMSE) {
+			t.Fatalf("tile %d: value-MSE series lengths differ", tile)
+		}
+		for i := range seq.ValueMSE {
+			if seq.ValueMSE[i] != bat.ValueMSE[i] {
+				t.Fatalf("tile %d: episode %d value MSE drifted: %v vs %v",
+					tile, i, seq.ValueMSE[i], bat.ValueMSE[i])
+			}
+		}
+		if len(seq.Valid) != len(bat.Valid) {
+			t.Fatalf("tile %d: valid-design counts differ: %d vs %d",
+				tile, len(seq.Valid), len(bat.Valid))
+		}
+		for i := range seq.Valid {
+			if seq.Valid[i].Topo.Fingerprint() != bat.Valid[i].Topo.Fingerprint() {
+				t.Fatalf("tile %d: valid design %d drifted", tile, i)
+			}
+		}
+	}
+}
+
+// TestSearchBatchedTrainingMultiThread exercises the batched trainer on
+// concurrent learner goroutines (this file runs under -race in make ci):
+// each worker owns its network's batched-train scratch, so only the
+// parameter-server exchange is shared.
+func TestSearchBatchedTrainingMultiThread(t *testing.T) {
+	cfg := quickCfg(4, 6, 8)
+	cfg.Threads = 4
+	cfg.TrainBatch = 8
+	res := MustNew(cfg).Run()
+	if res.Episodes != 8 {
+		t.Fatalf("episodes = %d", res.Episodes)
 	}
 	for _, d := range res.Valid {
 		if !d.Topo.FullyConnected() || d.Topo.MaxOverlap() > 6 {

@@ -9,6 +9,7 @@ package mcts
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -30,11 +31,40 @@ func (e *Edge) V() float64 {
 	return e.W / float64(e.N)
 }
 
-// Node is a previously explored design.
+// EdgeEntry pairs an action with its edge statistics in a node's flat edge
+// list.
+type EdgeEntry struct {
+	Action rl.Action
+	Edge
+}
+
+// Node is a previously explored design. Its edges live in one slice sorted
+// by rl.ActionLess rather than a map: Select's argmax is a linear scan whose
+// lexicographic tie-break falls out of the order (no per-candidate ActionLess
+// calls, no map iteration-order hazard), lookups are binary searches over
+// contiguous memory, and a node costs one allocation instead of one per edge.
 type Node struct {
-	Edges map[rl.Action]*Edge
+	Edges []EdgeEntry
 	// SumN caches Σ_j N(a_j; s) for the U term.
 	SumN int
+}
+
+// find returns the index of action a in the sorted edge slice, or
+// (insertion point, false) when absent.
+func (n *Node) find(a rl.Action) (int, bool) {
+	i := sort.Search(len(n.Edges), func(i int) bool {
+		return !rl.ActionLess(n.Edges[i].Action, a)
+	})
+	return i, i < len(n.Edges) && n.Edges[i].Action == a
+}
+
+// insert places a new edge for action a at sorted position i (as returned by
+// find) and returns a pointer to it, valid until the next insert.
+func (n *Node) insert(i int, a rl.Action, e Edge) *Edge {
+	n.Edges = append(n.Edges, EdgeEntry{})
+	copy(n.Edges[i+1:], n.Edges[i:])
+	n.Edges[i] = EdgeEntry{Action: a, Edge: e}
+	return &n.Edges[i].Edge
 }
 
 // Tree is the shared search tree. All methods are safe for concurrent use
@@ -109,19 +139,22 @@ func (t *Tree) Expand(fp string, actions []rl.Action, priors []float64) {
 	defer t.mu.Unlock()
 	node, ok := t.nodes[fp]
 	if !ok {
-		node = &Node{Edges: make(map[rl.Action]*Edge, len(actions))}
+		node = &Node{Edges: make([]EdgeEntry, 0, len(actions))}
 		t.nodes[fp] = node
 		t.nodeCount.Add(1)
 	}
+	// LegalActions enumerates in canonical order, so on a fresh node every
+	// insertion point is the tail and this loop is one append per action;
+	// re-expansions binary-search the existing edges.
 	for i, a := range actions {
-		if _, exists := node.Edges[a]; !exists {
+		if at, exists := node.find(a); !exists {
 			np := priors[i]
 			if sum > 0 {
 				np = np / sum
 			} else {
 				np = 1 / float64(len(actions))
 			}
-			node.Edges[a] = &Edge{P: np}
+			node.insert(at, a, Edge{P: np})
 			t.edgeCount.Add(1)
 		}
 	}
@@ -129,10 +162,10 @@ func (t *Tree) Expand(fp string, actions []rl.Action, priors []float64) {
 
 // Select applies Eq. 21 at the state: argmax over edges of
 // U(s,a) + V(s_next) with U = C·P(a;s)·√(Σ_j N_j)/(1+N(a;s)).
-// Exact score ties break toward the lexicographically smallest action, so
-// selection is a pure function of the edge statistics rather than of map
-// iteration order. The boolean is false when the state is unknown or has
-// no edges.
+// The edge slice is sorted by rl.ActionLess and the strict > keeps the first
+// maximum, so exact score ties break toward the lexicographically smallest
+// action by construction. The boolean is false when the state is unknown or
+// has no edges.
 func (t *Tree) Select(fp string) (rl.Action, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -141,19 +174,42 @@ func (t *Tree) Select(fp string) (rl.Action, bool) {
 		return rl.Action{}, false
 	}
 	sqrtSum := math.Sqrt(float64(node.SumN) + 1)
-	best := rl.Action{}
+	best := 0
 	bestScore := math.Inf(-1)
-	found := false
-	for a, e := range node.Edges {
-		u := t.C * e.P * sqrtSum / (1 + float64(e.N))
-		score := u + e.V()
-		if score > bestScore || (score == bestScore && rl.ActionLess(a, best)) {
+	for i := range node.Edges {
+		e := &node.Edges[i].Edge
+		score := t.C*e.P*sqrtSum/(1+float64(e.N)) + e.V()
+		if score > bestScore {
 			bestScore = score
-			best = a
-			found = true
+			best = i
 		}
 	}
-	return best, found
+	return node.Edges[best].Action, true
+}
+
+// Prune removes the edge for action a from the state, unwinding its
+// contribution to the node's visit sum and the telemetry counters, and
+// reports whether an edge was removed. Learners call it when a selected edge
+// turns out to be unplayable under the current constraints (the overlap cap
+// evolves with the design, so edges recorded on one episode's path can be
+// forbidden on another's), then re-Select among the survivors.
+func (t *Tree) Prune(fp string, a rl.Action) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	node, ok := t.nodes[fp]
+	if !ok {
+		return false
+	}
+	i, ok := node.find(a)
+	if !ok {
+		return false
+	}
+	visits := node.Edges[i].N
+	node.Edges = append(node.Edges[:i], node.Edges[i+1:]...)
+	node.SumN -= visits
+	t.edgeCount.Add(-1)
+	t.visitCount.Add(-int64(visits))
+	return true
 }
 
 // PathStep identifies one traversed (state, action) pair for Backup.
@@ -177,10 +233,12 @@ func (t *Tree) Backup(path []PathStep, returns []float64) {
 		if !ok {
 			continue
 		}
-		e, ok := node.Edges[s.Action]
-		if !ok {
-			e = &Edge{P: 0}
-			node.Edges[s.Action] = e
+		at, found := node.find(s.Action)
+		var e *Edge
+		if found {
+			e = &node.Edges[at].Edge
+		} else {
+			e = node.insert(at, s.Action, Edge{P: 0})
 			t.edgeCount.Add(1)
 		}
 		e.N++
@@ -200,8 +258,8 @@ func (t *Tree) EdgeStats(fp string) map[rl.Action]Edge {
 		return nil
 	}
 	out := make(map[rl.Action]Edge, len(node.Edges))
-	for a, e := range node.Edges {
-		out[a] = *e
+	for i := range node.Edges {
+		out[node.Edges[i].Action] = node.Edges[i].Edge
 	}
 	return out
 }

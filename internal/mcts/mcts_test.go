@@ -166,6 +166,62 @@ func TestSelectTieBreaksLexicographic(t *testing.T) {
 	}
 }
 
+// TestEdgesStaySorted pins the flat-node invariant: however edges arrive —
+// batch expansion, out-of-order re-expansion, Backup on an unexpanded action
+// — the node's edge slice stays sorted by the canonical action order.
+func TestEdgesStaySorted(t *testing.T) {
+	tr := NewTree(1.5)
+	tr.Expand("s", []rl.Action{
+		act(1, 1, 2, 2, topo.Clockwise),
+		act(3, 3, 4, 4, topo.Clockwise),
+	}, []float64{1, 1})
+	tr.Expand("s", []rl.Action{act(0, 0, 1, 1, topo.Clockwise)}, []float64{1})
+	tr.Backup([]PathStep{{"s", act(2, 2, 3, 3, topo.Counterclockwise)}}, []float64{1})
+	tr.mu.Lock()
+	edges := tr.nodes["s"].Edges
+	if len(edges) != 4 {
+		t.Fatalf("edges = %d, want 4", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if !rl.ActionLess(edges[i-1].Action, edges[i].Action) {
+			t.Fatalf("edges out of order at %d: %v !< %v", i, edges[i-1].Action, edges[i].Action)
+		}
+	}
+	tr.mu.Unlock()
+}
+
+// TestPruneRemovesEdge verifies Prune drops the edge, unwinds its visits
+// from the node sum and the telemetry counters, and that Select then falls
+// to the survivors.
+func TestPruneRemovesEdge(t *testing.T) {
+	tr := NewTree(1.5)
+	doomed, keep := act(0, 0, 1, 1, topo.Clockwise), act(0, 0, 2, 2, topo.Clockwise)
+	tr.Expand("s", []rl.Action{doomed, keep}, []float64{0.9, 0.1})
+	tr.Backup([]PathStep{{"s", doomed}, {"s", keep}}, []float64{5, 1})
+	if !tr.Prune("s", doomed) {
+		t.Fatal("Prune reported no edge removed")
+	}
+	if tr.Prune("s", doomed) {
+		t.Fatal("second Prune removed a ghost edge")
+	}
+	if tr.Prune("missing", keep) {
+		t.Fatal("Prune on unknown state reported removal")
+	}
+	st := tr.Stats()
+	if st.Edges != 1 || st.Visits != 1 {
+		t.Fatalf("stats after prune = %+v, want {Edges:1 Visits:1}", st)
+	}
+	a, ok := tr.Select("s")
+	if !ok || a != keep {
+		t.Fatalf("selected %v after prune, want %v", a, keep)
+	}
+	tr.mu.Lock()
+	if sum := tr.nodes["s"].SumN; sum != 1 {
+		t.Fatalf("SumN after prune = %d, want 1", sum)
+	}
+	tr.mu.Unlock()
+}
+
 // TestStatsCounters verifies the incrementally maintained aggregates match
 // what a walk of the tree would report, including edges created by Backup
 // rather than Expand.

@@ -103,6 +103,88 @@ func TestConvGradientCheckSmall(t *testing.T) {
 	}
 }
 
+// TestTrainBatchGradientCheck validates the batched training path against
+// ground truth rather than against the sequential oracle: parameter
+// gradients accumulated by one ForwardBatchTrain + BackwardBatch must match
+// central differences of a scalar loss over the batch. The loss reads each
+// head through an invertible link — Σ c·log p for the softmax groups (so
+// dL/dlogit_j = c_j − p_j·Σc), c·atanh(Dir) for the tanh direction head (so
+// dL/dz = c at the pre-activation BackwardBatch expects), and c·V for the
+// linear value head — making the exact head gradients computable from the
+// forward outputs alone. Train-mode BatchNorm only advances its running EMA
+// (per-sample batch statistics feed the normalization), so the repeated
+// numeric evaluations do not perturb what is being differentiated.
+func TestTrainBatchGradientCheck(t *testing.T) {
+	net := NewPolicyValueNet(TestConfig(4), 11)
+	perturbNet(net, 13)
+	rng := rand.New(rand.NewSource(17))
+	const nb = 3
+	nc := net.Cfg.N
+	states := randStates(rng, 4, nb)
+	cw := make([]float64, nb*4*nc)
+	cd := make([]float64, nb)
+	cv := make([]float64, nb)
+	for i := range cw {
+		cw[i] = rng.NormFloat64()
+	}
+	for b := 0; b < nb; b++ {
+		cd[b], cv[b] = rng.NormFloat64(), rng.NormFloat64()
+	}
+
+	outs := make([]Output, nb)
+	loss := func() float64 {
+		net.ForwardBatchTrain(states, outs)
+		s := 0.0
+		for b := range outs {
+			o := &outs[b]
+			for g := 0; g < 4; g++ {
+				for i, p := range o.CoordProbs[g] {
+					s += cw[b*4*nc+g*nc+i] * math.Log(p)
+				}
+			}
+			s += cd[b]*math.Atanh(o.Dir) + cv[b]*o.Value
+		}
+		return s
+	}
+
+	net.ZeroGrads()
+	net.ForwardBatchTrain(states, outs)
+	flat := make([]float64, nb*4*nc)
+	for b := range outs {
+		for g := 0; g < 4; g++ {
+			row := cw[b*4*nc+g*nc : b*4*nc+(g+1)*nc]
+			tot := 0.0
+			for _, c := range row {
+				tot += c
+			}
+			for j, p := range outs[b].CoordProbs[g] {
+				flat[b*4*nc+g*nc+j] = row[j] - p*tot
+			}
+		}
+	}
+	net.BackwardBatch(flat, cd, cv)
+	grads := net.GetGrads()
+
+	weights := net.GetWeights()
+	const eps = 1e-5
+	for k := 0; k < 60; k++ {
+		i := rng.Intn(len(weights))
+		orig := weights[i]
+		weights[i] = orig + eps
+		net.SetWeights(weights)
+		lp := loss()
+		weights[i] = orig - eps
+		net.SetWeights(weights)
+		lm := loss()
+		weights[i] = orig
+		net.SetWeights(weights)
+		want := (lp - lm) / (2 * eps)
+		if math.Abs(grads[i]-want) > 1e-4*(1+math.Abs(want)) {
+			t.Fatalf("weight %d: analytic grad %v, central difference %v", i, grads[i], want)
+		}
+	}
+}
+
 // TestNetworkSteadyStateAllocs asserts the warmed-up hot path allocates
 // nothing: every tensor, im2col matrix, and output slice is arena-owned
 // and reused. The bound is exactly 0 allocations per Forward+Backward

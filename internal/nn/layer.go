@@ -64,6 +64,20 @@ type Conv2D struct {
 	bcols []float64
 	btmp  []float64
 	bout  *tensor.Tensor
+	// Batched-training scratch (train_batch.go); separate from both the
+	// per-sample training buffers and the inference-batch buffers so an
+	// interleaved ForwardBatch can never clobber a pending BackwardBatch.
+	// The batched train path runs the fused padded-plane kernels
+	// (tensor.ConvFwdPad/ConvDWPad/ConvDXPad) instead of im2col + GEMM, so
+	// its scratch is the padded input copy rather than a column matrix.
+	tx    *tensor.Tensor // cached batched input
+	tpad  []float64      // zero-padded input planes, kept for BackwardBatch
+	tpout []float64      // gapped output accumulation row (ConvFwdPad)
+	tgp   []float64      // zero-padded gradient planes, rebuilt per sample
+	trow  []float64      // gathered cols row (ConvDWPad leftover columns)
+	tsrow []float64      // one-output-row scratch (ConvDXPad, outC > 4)
+	tout  *tensor.Tensor
+	tdx   *tensor.Tensor
 }
 
 // NewConv2D builds a conv layer with He-initialized weights.
@@ -153,6 +167,13 @@ type BatchNorm struct {
 	out   *tensor.Tensor
 	dx    *tensor.Tensor
 	bout  *tensor.Tensor // batched-inference scratch (batch.go)
+	// Batched-training scratch (train_batch.go): per-(channel, sample)
+	// statistics and normalized activations.
+	txhat  []float64
+	tmean  []float64
+	tinvSD []float64
+	tout   *tensor.Tensor
+	tdx    *tensor.Tensor
 }
 
 // NewBatchNorm builds a batch-norm layer for c channels.
@@ -256,6 +277,10 @@ type ReLU struct {
 	out   *tensor.Tensor
 	dx    *tensor.Tensor
 	bout  *tensor.Tensor // batched-inference scratch (batch.go)
+	// Batched-training scratch (train_batch.go).
+	tmask []bool
+	tout  *tensor.Tensor
+	tdx   *tensor.Tensor
 }
 
 // NewReLU builds a ReLU layer.
@@ -306,6 +331,11 @@ type MaxPool struct {
 	out    *tensor.Tensor
 	dx     *tensor.Tensor
 	bout   *tensor.Tensor // batched-inference scratch (batch.go)
+	// Batched-training scratch (train_batch.go).
+	targmax []int
+	tinSh   []int
+	tout    *tensor.Tensor
+	tdx     *tensor.Tensor
 }
 
 // NewMaxPool builds the pooling layer.
@@ -377,6 +407,10 @@ type Dense struct {
 	out   *tensor.Tensor
 	dx    *tensor.Tensor
 	bout  *tensor.Tensor // batched-inference scratch (batch.go)
+	// Batched-training scratch (train_batch.go): sample-major rows.
+	tx   *tensor.Tensor
+	tout *tensor.Tensor
+	tdx  *tensor.Tensor
 }
 
 // NewDense builds an FC layer with Xavier-initialized weights.
@@ -465,6 +499,9 @@ type Residual struct {
 	sum   *tensor.Tensor
 	dx    *tensor.Tensor
 	bsum  *tensor.Tensor // batched-inference scratch (batch.go)
+	// Batched-training scratch (train_batch.go).
+	tsum *tensor.Tensor
+	tdx  *tensor.Tensor
 }
 
 // NewResidual builds a residual block of two 3×3 convolutions on c

@@ -83,6 +83,27 @@ type PolicyValueNet struct {
 	bdX *tensor.Tensor
 	bvX *tensor.Tensor
 
+	// Batched-training scratch (train_batch.go): input tensor, sample-major
+	// head repack/unpack buffers, and the head-gradient row tensors fed into
+	// BackwardBatch. Disjoint from both the per-sample and inference-batch
+	// handles so the three paths can interleave on one net.
+	tbin   *tensor.Tensor
+	tpX    *tensor.Tensor
+	tdX    *tensor.Tensor
+	tvX    *tensor.Tensor
+	tpUn   *tensor.Tensor
+	tdUn   *tensor.Tensor
+	tvUn   *tensor.Tensor
+	tflat  *tensor.Tensor
+	tdDirT *tensor.Tensor
+	tdValT *tensor.Tensor
+	// Head conv outputs of the last ForwardBatchTrain (references, not
+	// handles): BackwardBatch reads their shapes to unpack the FC row
+	// gradients back into the channel-major layout.
+	tbpOut *tensor.Tensor
+	tbdOut *tensor.Tensor
+	tbvOut *tensor.Tensor
+
 	// bns lists every BatchNorm in construction order, backing the running-
 	// statistics vector (NumStats/CopyStatsInto/SetStats) that inference
 	// evaluators sync alongside the weights.

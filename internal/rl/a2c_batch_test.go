@@ -1,0 +1,135 @@
+package rl
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"routerless/internal/nn"
+)
+
+// randomTraj plays up to maxSteps uniformly random legal actions and
+// packages the episode as a trajectory, the same shape the DRL worker
+// feeds Accumulate.
+func randomTraj(e *Env, rng *rand.Rand, maxSteps int) Trajectory {
+	var traj Trajectory
+	e.Reset()
+	for len(traj.Steps) < maxSteps {
+		acts := e.LegalActions()
+		if len(acts) == 0 {
+			break
+		}
+		a := acts[rng.Intn(len(acts))]
+		st := e.State()
+		r, _ := e.Step(a)
+		traj.Steps = append(traj.Steps, StepRecord{State: st, Action: a, Reward: r})
+	}
+	traj.Final = e.FinalReward()
+	return traj
+}
+
+// The PR 9 parity gate at the trainer level: the batched trajectory update
+// must produce gradients, BatchNorm running statistics, and value MSE
+// bit-identical to the retained sequential oracle — across tile sizes that
+// exercise single-tile, multi-tile, and partial-final-tile shapes, and
+// across repeated trajectories accumulating into live gradient buffers.
+func TestA2CBatchedMatchesSequentialByteIdentical(t *testing.T) {
+	for _, tile := range []int{2, 5, 16, 64} {
+		t.Run("tile"+strconv.Itoa(tile), func(t *testing.T) {
+			e := NewEnv(5, 8)
+			rng := rand.New(rand.NewSource(int64(97 + tile)))
+			seqNet := nn.NewPolicyValueNet(nn.TestConfig(5), 11)
+			batNet := nn.NewPolicyValueNet(nn.TestConfig(5), 11)
+			seq := DefaultA2C()
+			seq.TrainBatch = 0 // sequential oracle
+			bat := DefaultA2C()
+			bat.TrainBatch = tile
+			for round := 0; round < 3; round++ {
+				traj := randomTraj(e, rng, 37)
+				if len(traj.Steps) < 2 {
+					t.Fatalf("round %d: degenerate trajectory (%d steps)", round, len(traj.Steps))
+				}
+				mseSeq := seq.Accumulate(seqNet, traj)
+				mseBat := bat.Accumulate(batNet, traj)
+				if mseSeq != mseBat {
+					t.Fatalf("round %d: mse diverged: sequential %v, batched %v", round, mseSeq, mseBat)
+				}
+				gs, gb := seqNet.GetGrads(), batNet.GetGrads()
+				for i := range gs {
+					if gs[i] != gb[i] {
+						t.Fatalf("round %d: grad %d diverged: sequential %v, batched %v", round, i, gs[i], gb[i])
+					}
+				}
+				ss := make([]float64, seqNet.NumStats())
+				sb := make([]float64, batNet.NumStats())
+				seqNet.CopyStatsInto(ss)
+				batNet.CopyStatsInto(sb)
+				for i := range ss {
+					if ss[i] != sb[i] {
+						t.Fatalf("round %d: running stat %d diverged: %v vs %v", round, i, ss[i], sb[i])
+					}
+				}
+				// Step both nets so later rounds run on evolved weights.
+				nn.SGD{LR: 1e-3, Clip: 1}.Step(seqNet)
+				nn.SGD{LR: 1e-3, Clip: 1}.Step(batNet)
+			}
+		})
+	}
+}
+
+// Full training-loop drift check: many episodes of accumulate + SGD on the
+// batched path versus the sequential path, same seed, must keep the weight
+// vectors bit-equal the whole way. A single ULP of divergence anywhere in
+// the batched stack compounds here and fails fast.
+func TestA2CBatchedNoSearchDrift(t *testing.T) {
+	e := NewEnv(4, 6)
+	rng := rand.New(rand.NewSource(131))
+	seqNet := nn.NewPolicyValueNet(nn.TestConfig(4), 13)
+	batNet := nn.NewPolicyValueNet(nn.TestConfig(4), 13)
+	seq := A2C{Gamma: 0.99, ValueCoeff: 0.5}
+	bat := DefaultA2C() // TrainBatch = 16
+	sgdS := nn.SGD{LR: 5e-3, Clip: 1}
+	sgdB := nn.SGD{LR: 5e-3, Clip: 1}
+	for ep := 0; ep < 10; ep++ {
+		traj := randomTraj(e, rng, 24)
+		seqNet.ZeroGrads()
+		batNet.ZeroGrads()
+		seq.Accumulate(seqNet, traj)
+		bat.Accumulate(batNet, traj)
+		sgdS.Step(seqNet)
+		sgdB.Step(batNet)
+		ws, wb := seqNet.GetWeights(), batNet.GetWeights()
+		for i := range ws {
+			if ws[i] != wb[i] {
+				t.Fatalf("episode %d: weight %d drifted: sequential %v, batched %v", ep, i, ws[i], wb[i])
+			}
+		}
+	}
+}
+
+// The batched Accumulate keeps the worker's zero-allocation contract: once
+// the A2C scratch and the net's batched-training arena are warm, a full
+// trajectory update never touches the heap.
+func TestA2CBatchedZeroAllocWarm(t *testing.T) {
+	e := NewEnv(4, 6)
+	rng := rand.New(rand.NewSource(151))
+	net := nn.NewPolicyValueNet(nn.TestConfig(4), 17)
+	a2c := DefaultA2C()
+	traj := randomTraj(e, rng, 20)
+	a2c.Accumulate(net, traj) // warm scratch and arena
+	allocs := testing.AllocsPerRun(10, func() {
+		a2c.Accumulate(net, traj)
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed batched Accumulate allocates %.1f times, want 0", allocs)
+	}
+	// A shorter trajectory (partial tile) must reuse the same scratch.
+	short := randomTraj(e, rng, 7)
+	a2c.Accumulate(net, short)
+	allocs = testing.AllocsPerRun(10, func() {
+		a2c.Accumulate(net, short)
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed batched Accumulate (short trajectory) allocates %.1f times, want 0", allocs)
+	}
+}

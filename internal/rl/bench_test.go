@@ -1,0 +1,65 @@
+package rl
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"routerless/internal/nn"
+	"routerless/internal/topo"
+)
+
+// benchTraj synthesizes an H-step trajectory of random states and actions
+// on an N×N grid — the trainer's workload without the episode machinery,
+// so the benchmark isolates Accumulate itself.
+func benchTraj(nc, h int, rng *rand.Rand) Trajectory {
+	side := nc * nc
+	traj := Trajectory{Final: 3.5}
+	for t := 0; t < h; t++ {
+		st := make([]float64, side*side)
+		for i := range st {
+			st[i] = float64(rng.Intn(5 * nc))
+		}
+		traj.Steps = append(traj.Steps, StepRecord{
+			State: st,
+			Action: Action{X1: rng.Intn(nc), Y1: rng.Intn(nc),
+				X2: rng.Intn(nc), Y2: rng.Intn(nc), Dir: topo.Clockwise},
+			Reward: rng.Float64(),
+		})
+	}
+	return traj
+}
+
+// BenchmarkA2CAccumulate is the PR 9 gate benchmark: the full trajectory
+// update (forward + head gradients + backward for every step) on the
+// paper-scale nets, sequential per-step loop versus the batched path at
+// its default tile, over trajectory lengths H ∈ {8, 16, 32}. Report
+// ns/step to compare across H. The gate: batched ≥ 2× sequential at
+// H ≥ 16 on both grids. Before/after numbers live in BENCH_PR9.json.
+func BenchmarkA2CAccumulate(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		tile int
+	}{{"seq", 0}, {"batched", 16}} {
+		for _, nc := range []int{8, 10} {
+			for _, h := range []int{8, 16, 32} {
+				b.Run(mode.name+"/"+strconv.Itoa(nc)+"x"+strconv.Itoa(nc)+"/H"+strconv.Itoa(h), func(b *testing.B) {
+					net := nn.NewPolicyValueNet(nn.Config{N: nc, BaseChannels: 2, Pools: 2}, 1)
+					rng := rand.New(rand.NewSource(7))
+					traj := benchTraj(nc, h, rng)
+					a2c := DefaultA2C()
+					a2c.TrainBatch = mode.tile
+					net.ZeroGrads()
+					a2c.Accumulate(net, traj) // warm scratch and arenas
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						a2c.Accumulate(net, traj)
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*h), "ns/step")
+				})
+			}
+		}
+	}
+}

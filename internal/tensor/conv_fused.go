@@ -1,0 +1,357 @@
+package tensor
+
+import "fmt"
+
+// Fused (materialization-free) convolution kernels for the batched training
+// path. The im2col formulation moves K²× the input volume through cols/dcols
+// buffers that are megabytes per sample at paper scale; these kernels read a
+// zero-padded copy of the input plane instead, so every value the GEMM would
+// have loaded from a cols row is loaded from the padded plane at a computed
+// offset — the same value, in the same place in the same per-element
+// reduction chain. That makes each kernel bit-identical to its lowered
+// counterpart:
+//
+//	ConvFwdPad  ≡ Im2col + GemmNN      (conv forward)
+//	ConvDWPad   ≡ GemmNT over cols     (conv weight gradient)
+//	ConvDXPad   ≡ GemmTN + Col2im      (conv input gradient)
+//
+// The equivalences are pinned by TestConvFusedMatchesLowered, which runs the
+// lowered kernels as oracles. Four structural facts carry the proofs:
+//
+//  1. Pad zeros participate. The padded plane holds explicit +0 entries
+//     where im2col writes zeros, so grouped expressions such as
+//     a0·b0+a1·b1+a2·b2+a3·b3 see exactly the operands the GEMM saw —
+//     nothing is skipped, no sign-of-zero or grouping difference can arise.
+//
+//  2. Only loop nests are reordered, never per-element chains. A C element's
+//     accumulation order in the lowered kernels depends only on the
+//     reduction index (GemmNN: aligned 4-term groups within gemmKC panels;
+//     GemmNT: position of the output column within its jc panel selects the
+//     sequential or the four-lane dot; GemmTN: aligned 4-lane groups over
+//     the reduction dim), all of which these kernels reproduce exactly.
+//     ConvDXPad blocks by output row so the accumulating row stays
+//     cache-resident; per element that changes nothing.
+//
+//  3. Zero terms may be inserted into a chain. ConvDWPad walks the gradient
+//     plane as one (h-1)·wp+w span whose k-1 inter-row gap elements are
+//     exact zeros (a view into the padded plane), and ConvDXPad gathers
+//     from positions Col2im would have clipped, which read pad zeros. Both
+//     add av·b = ±0 to a running accumulator — and an accumulator that
+//     starts at +0 can never hold -0 under round-to-nearest (x+(-x) = +0;
+//     -0 only arises from (-0)+(-0)), so s + (±0) returns s bit-for-bit.
+//
+//  4. A dcols value's sign of zero never reaches dX (the accumulating dX
+//     element is never -0, and t+(+0) == t+(-0) for such t), which licenses
+//     evaluating the grouped-outC expression straight into dX for outC ≤ 4
+//     and assigning the first group into the outC > 4 scratch row instead
+//     of adding it to a cleared one.
+//
+// The zero-term argument assumes finite inputs: a gap term is av·b with one
+// operand exactly ±0, which is ±0 only when the other operand is finite
+// (0·Inf = NaN). Training data, weights, and gradients are finite by
+// invariant — the lowered path produces garbage on non-finite values anyway.
+//
+// All kernels require h·w > 1: at h·w == 1 the lowered path would take the
+// GEMM matrix–vector fast paths, whose accumulator patterns differ. The
+// networks in internal/nn never pool below 2×2.
+
+// PadPlane copies an (h, w) plane into an (h+k-1, w+k-1) plane with a zero
+// border sized for a stride-1 "same" convolution with a k×k kernel and
+// pad = (k-1)/2: source pixel (y, x) lands at (y+pad, x+pad). dst is fully
+// overwritten. The border is (k-1)/2 on the leading sides and k-1-(k-1)/2 on
+// the trailing sides, covering even k exactly as Im2col's bounds do.
+func PadPlane(src []float64, h, w, k int, dst []float64) {
+	PadPlaneLead(src, h, w, k, (k-1)/2, dst)
+}
+
+// PadPlaneLead is PadPlane with an explicit leading border: source pixel
+// (y, x) lands at (y+lead, x+lead) in the (h+k-1, w+k-1) destination. The
+// gradient planes use lead = k-1-pad, which orients the plane for the
+// gather formulation of col2im (ConvDXPad) while its interior rows, viewed
+// from offset lead·wp+lead at stride wp, double as the zero-gapped span
+// ConvDWPad's long dots walk.
+func PadPlaneLead(src []float64, h, w, k, lead int, dst []float64) {
+	hp, wp := h+k-1, w+k-1
+	if len(src) < h*w || len(dst) < hp*wp {
+		panic(fmt.Sprintf("tensor: PadPlaneLead buffers (%d,%d), need (%d,%d)", len(src), len(dst), h*w, hp*wp))
+	}
+	clear(dst[:lead*wp])
+	for y := 0; y < h; y++ {
+		row := dst[(y+lead)*wp : (y+lead+1)*wp]
+		clear(row[:lead])
+		copy(row[lead:lead+w], src[y*w:(y+1)*w])
+		clear(row[lead+w:])
+	}
+	clear(dst[(h+lead)*wp : hp*wp])
+}
+
+// ConvFwdPad computes the stride-1 "same" convolution out = W∗x directly
+// from padded input planes, bit-identical to GemmNN(outC, h·w, inC·k²,
+// weights, im2col(x), out, false): per output element, reduction indices are
+// consumed in aligned four-term grouped expressions within gemmKC panels,
+// exactly as GemmNN's inner loops emit them. Each output channel accumulates
+// into the gapped scratch row pout (length ≥ (h-1)·(w+k-1)+w, clobbered) in
+// single long sweeps — the gap elements collect garbage cross-products that
+// the final interior copy discards. No bias is applied.
+//
+// xp holds inC padded planes of (h+k-1)×(w+k-1); plane ic starts at
+// xp[ic*xpStride]. out receives outC rows of h·w; row oc starts at
+// out[oc*outStride] and is overwritten.
+func ConvFwdPad(weights []float64, outC, inC int, xp []float64, xpStride int, h, w, k int, out []float64, outStride int, pout []float64) {
+	hw := h * w
+	if hw <= 1 {
+		panic("tensor: ConvFwdPad requires h*w > 1")
+	}
+	kk2 := k * k
+	ickk := inC * kk2
+	wp := w + k - 1
+	span := (h-1)*wp + w
+	if len(weights) < outC*ickk || len(xp) < (inC-1)*xpStride+(h+k-1)*wp ||
+		len(out) < (outC-1)*outStride+hw || len(pout) < span {
+		panic("tensor: ConvFwdPad buffer lengths too short")
+	}
+	// base(r) is the padded-plane offset of reduction index r = (ic, ky, kx)
+	// at output pixel (0, 0); gapped position t = oy*wp + ox adds t.
+	base := func(r int) int {
+		ic, rem := r/kk2, r%kk2
+		return ic*xpStride + (rem/k)*wp + rem%k
+	}
+	pp := pout[:span]
+	for oc := 0; oc < outC; oc++ {
+		wrow := weights[oc*ickk : (oc+1)*ickk]
+		clear(pp)
+		for k0 := 0; k0 < ickk; k0 += gemmKC {
+			k1 := min(k0+gemmKC, ickk)
+			kk := k0
+			for ; kk+3 < k1; kk += 4 {
+				a0, a1, a2, a3 := wrow[kk], wrow[kk+1], wrow[kk+2], wrow[kk+3]
+				p0 := xp[base(kk):][:span]
+				p1 := xp[base(kk+1):][:span]
+				p2 := xp[base(kk+2):][:span]
+				p3 := xp[base(kk+3):][:span]
+				for t := range pp {
+					pp[t] += a0*p0[t] + a1*p1[t] + a2*p2[t] + a3*p3[t]
+				}
+			}
+			for ; kk < k1; kk++ {
+				av := wrow[kk]
+				prow := xp[base(kk):][:span]
+				for t := range pp {
+					pp[t] += av * prow[t]
+				}
+			}
+		}
+		orow := out[oc*outStride : oc*outStride+hw]
+		for oy := 0; oy < h; oy++ {
+			copy(orow[oy*w:(oy+1)*w], pp[oy*wp:oy*wp+w])
+		}
+	}
+}
+
+// ConvDWPad accumulates the convolution weight gradient dW += dY·im2col(x)ᵀ
+// directly from padded input planes, bit-identical to GemmNT(outC, inC·k²,
+// h·w, grad, im2col(x), wGrad, true). GemmNT evaluates most output columns
+// with a strictly sequential single-accumulator dot (the four-wide column
+// panels) and the ≤3 leftover columns of each jc panel with the four-lane
+// interleaved dot; which flavor an element gets depends only on its column's
+// position within its panel, which this kernel reproduces. The four-wide
+// dots run one long loop over the zero-gapped gradient span gp (gap terms
+// add ±0 — no-ops); the leftover columns gather their cols row into rowBuf
+// (h·w scratch) and run the exact four-lane dot over the compact row, whose
+// lane phase the gapped layout would shift.
+//
+// grad holds outC compact rows of h·w starting at grad[oc*gStride]; gp holds
+// the same gradient rows at stride wp = w+k-1 with exact zeros in the k-1
+// gap elements between rows (the interior view of a PadPlaneLead plane),
+// channel oc starting at gp[oc*gpStride]; xp as in ConvFwdPad; wGrad is the
+// dense (outC, inC·k²) gradient, accumulated.
+func ConvDWPad(grad []float64, gStride int, gp []float64, gpStride int, xp []float64, xpStride int, outC, inC, h, w, k int, wGrad []float64, rowBuf []float64) {
+	hw := h * w
+	if hw <= 1 {
+		panic("tensor: ConvDWPad requires h*w > 1")
+	}
+	kk2 := k * k
+	ickk := inC * kk2
+	wp := w + k - 1
+	span := (h-1)*wp + w
+	if len(grad) < (outC-1)*gStride+hw || len(gp) < (outC-1)*gpStride+span ||
+		len(xp) < (inC-1)*xpStride+(h+k-1)*wp ||
+		len(wGrad) < outC*ickk || len(rowBuf) < hw {
+		panic("tensor: ConvDWPad buffer lengths too short")
+	}
+	base := func(r int) int {
+		ic, rem := r/kk2, r%kk2
+		return ic*xpStride + (rem/k)*wp + rem%k
+	}
+	jc := max(4, 32768/hw)
+	for j0 := 0; j0 < ickk; j0 += jc {
+		j1 := min(j0+jc, ickk)
+		for i := 0; i < outC; i++ {
+			crow := wGrad[i*ickk : (i+1)*ickk]
+			gprow := gp[i*gpStride : i*gpStride+span]
+			j := j0
+			for ; j+3 < j1; j += 4 {
+				// The four-wide panel flavor: per element, one accumulator
+				// over the reduction in ascending order — four independent
+				// chains interleaved exactly as GemmNT's panel loop, which
+				// is what keeps four FP adds in flight.
+				p0 := xp[base(j):][:span]
+				p1 := xp[base(j+1):][:span]
+				p2 := xp[base(j+2):][:span]
+				p3 := xp[base(j+3):][:span]
+				var s0, s1, s2, s3 float64
+				for t, av := range gprow {
+					s0 += av * p0[t]
+					s1 += av * p1[t]
+					s2 += av * p2[t]
+					s3 += av * p3[t]
+				}
+				crow[j] += s0
+				crow[j+1] += s1
+				crow[j+2] += s2
+				crow[j+3] += s3
+			}
+			if j >= j1 {
+				continue
+			}
+			arow := grad[i*gStride : i*gStride+hw]
+			for ; j < j1; j++ {
+				// The leftover flavor: the four-lane interleaved dot. Gather
+				// the cols row once so the lane phase matches the dense
+				// layout even when w is not a multiple of four.
+				rb := base(j)
+				for oy := 0; oy < h; oy++ {
+					copy(rowBuf[oy*w:(oy+1)*w], xp[rb+oy*wp:][:w])
+				}
+				var s0, s1, s2, s3 float64
+				kk := 0
+				for ; kk+3 < hw; kk += 4 {
+					s0 += arow[kk] * rowBuf[kk]
+					s1 += arow[kk+1] * rowBuf[kk+1]
+					s2 += arow[kk+2] * rowBuf[kk+2]
+					s3 += arow[kk+3] * rowBuf[kk+3]
+				}
+				s := s0 + s1 + s2 + s3
+				for ; kk < hw; kk++ {
+					s += arow[kk] * rowBuf[kk]
+				}
+				crow[j] += s
+			}
+		}
+	}
+}
+
+// ConvDXPad computes the convolution input gradient dX = col2im(Wᵀ·dY)
+// without materializing the (inC·k², h·w) dcols matrix, bit-identical to
+// GemmTN(inC·k², h·w, outC, weights, grad, dcols, false) followed by
+// Col2im(dcols, ...). It runs col2im as a gather: a dX element's lowered
+// chain is "for r ascending, add the grouped-outC dcols value", and that
+// dcols value lives at a fixed offset in the zero-padded gradient planes —
+// so each w-length dX row accumulates all k² reduction indices of its plane
+// while cache-hot. Positions Col2im would have clipped read pad zeros and
+// add ±0 (no-ops); each grouped value is GemmTN's exact per-element pattern
+// (aligned four-lane groups over outC plus leftover singles), evaluated
+// straight into dX for outC ≤ 4 and via the w-length scratch row srow for
+// outC > 4 (see the package comment for the sign-of-zero licenses).
+//
+// gpad holds outC gradient planes padded by PadPlaneLead with
+// lead = k-1-(k-1)/2, plane oc starting at gpad[oc*gpadStride]; dx receives
+// inC compact planes of h·w starting at dx[ic*dxStride], overwritten.
+func ConvDXPad(weights []float64, outC, inC int, gpad []float64, gpadStride int, h, w, k int, dx []float64, dxStride int, srow []float64) {
+	hw := h * w
+	if hw <= 1 {
+		panic("tensor: ConvDXPad requires h*w > 1")
+	}
+	kk2 := k * k
+	ickk := inC * kk2
+	wp := w + k - 1
+	if len(weights) < outC*ickk || len(gpad) < (outC-1)*gpadStride+(h+k-1)*wp ||
+		len(dx) < (inC-1)*dxStride+hw || len(srow) < w {
+		panic("tensor: ConvDXPad buffer lengths too short")
+	}
+	sr := srow[:w]
+	for ic := 0; ic < inC; ic++ {
+		for y := 0; y < h; y++ {
+			drow := dx[ic*dxStride+y*w : ic*dxStride+(y+1)*w]
+			clear(drow)
+			ky, kx := 0, 0
+			for rr := 0; rr < kk2; rr++ {
+				r := ic*kk2 + rr
+				// dcols row r at output row oy = y+pad-ky reads the padded
+				// gradient at plane row oy+lead = y+(k-1)-ky, column offset
+				// pad-kx+lead = (k-1)-kx: always in bounds, zeros where the
+				// lowered path had no contribution.
+				gbase := (y+k-1-ky)*wp + (k - 1 - kx)
+				if kx++; kx == k {
+					kx, ky = 0, ky+1
+				}
+				switch {
+				case outC == 1:
+					a0 := weights[r]
+					g0 := gpad[gbase:][:w]
+					for x := range drow {
+						drow[x] += a0 * g0[x]
+					}
+				case outC == 2:
+					a0, a1 := weights[r], weights[ickk+r]
+					g0 := gpad[gbase:][:w]
+					g1 := gpad[gpadStride+gbase:][:w]
+					for x := range drow {
+						drow[x] += a0*g0[x] + a1*g1[x]
+					}
+				case outC == 3:
+					a0, a1, a2 := weights[r], weights[ickk+r], weights[2*ickk+r]
+					g0 := gpad[gbase:][:w]
+					g1 := gpad[gpadStride+gbase:][:w]
+					g2 := gpad[2*gpadStride+gbase:][:w]
+					for x := range drow {
+						drow[x] += a0*g0[x] + a1*g1[x] + a2*g2[x]
+					}
+				case outC == 4:
+					a0, a1, a2, a3 := weights[r], weights[ickk+r], weights[2*ickk+r], weights[3*ickk+r]
+					g0 := gpad[gbase:][:w]
+					g1 := gpad[gpadStride+gbase:][:w]
+					g2 := gpad[2*gpadStride+gbase:][:w]
+					g3 := gpad[3*gpadStride+gbase:][:w]
+					for x := range drow {
+						drow[x] += a0*g0[x] + a1*g1[x] + a2*g2[x] + a3*g3[x]
+					}
+				default:
+					// GemmTN's aligned four-lane groups over outC, then
+					// leftover singles. The first group assigns; outC >= 5
+					// here, so it always exists.
+					l := 0
+					for ; l+3 < outC; l += 4 {
+						a0 := weights[l*ickk+r]
+						a1 := weights[(l+1)*ickk+r]
+						a2 := weights[(l+2)*ickk+r]
+						a3 := weights[(l+3)*ickk+r]
+						g0 := gpad[l*gpadStride+gbase:][:w]
+						g1 := gpad[(l+1)*gpadStride+gbase:][:w]
+						g2 := gpad[(l+2)*gpadStride+gbase:][:w]
+						g3 := gpad[(l+3)*gpadStride+gbase:][:w]
+						if l == 0 {
+							for x := range sr {
+								sr[x] = a0*g0[x] + a1*g1[x] + a2*g2[x] + a3*g3[x]
+							}
+						} else {
+							for x := range sr {
+								sr[x] += a0*g0[x] + a1*g1[x] + a2*g2[x] + a3*g3[x]
+							}
+						}
+					}
+					for ; l < outC; l++ {
+						av := weights[l*ickk+r]
+						grow := gpad[l*gpadStride+gbase:][:w]
+						for x := range sr {
+							sr[x] += av * grow[x]
+						}
+					}
+					for x := range drow {
+						drow[x] += sr[x]
+					}
+				}
+			}
+		}
+	}
+}
