@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-nn bench-sim bench-drl bench-infer bench-obs bench-train trace-smoke
+.PHONY: ci vet build test race bench bench-nn bench-sim bench-drl bench-infer bench-obs bench-train bench-search trace-smoke profile-smoke
 
 ci: vet build test race
 
@@ -71,6 +71,20 @@ bench-train:
 	$(GO) test -bench 'BenchmarkA2CAccumulate' -benchmem -run '^$$' ./internal/rl/
 	$(GO) test -bench 'BenchmarkDRLEpisode$$' -benchmem -run '^$$' ./internal/drl/
 
+# Quick iteration loop for the multi-threaded search stack (PR 10): the
+# lock-striped MCTS tree and chunked parameter server under concurrent
+# learner traffic, the fused applyAndFetch round-trip vs the old
+# apply+snapshot pair, and the end-to-end thread-scaling rows (Threads ∈
+# {1,2,4,8}). The regression signals are the fused/pair ns/update ratio,
+# contended_frac on the striped structures vs their whole-lock before
+# columns, and flat single-thread episode cost. On a 1-CPU host the
+# thread-scaling wall-clock is honestly flat — contended_frac carries the
+# story (ROADMAP policy, as PR 3/5). Numbers live in BENCH_PR10.json.
+bench-search:
+	$(GO) test -bench 'BenchmarkTreeContention' -benchmem -run '^$$' ./internal/mcts/
+	$(GO) test -bench 'BenchmarkParamServer' -benchmem -run '^$$' ./internal/drl/
+	$(GO) test -bench 'BenchmarkDRLSearchThreads' -benchmem -benchtime 5x -run '^$$' ./internal/drl/
+
 # Tracing-overhead gate (PR 6): traced vs untraced episode and sim-run
 # pairs, plus the span/histogram micro-benchmarks. The disabled path must
 # stay allocation-free (internal/{sim,rl,drl} alloc tests pin it) and the
@@ -94,3 +108,14 @@ trace-smoke:
 		-trace /tmp/routerless-trace-sim.json -manifest /tmp/routerless-manifest.jsonl > /dev/null
 	$(GO) run ./cmd/tracecheck -require sim.run,sim.warmup,sim.measure,sim.drain,exp.point \
 		/tmp/routerless-trace-sim.json
+
+# End-to-end contention-profiling smoke (PR 10): run a threaded search with
+# -mutexprofile/-blockprofile and assert both profiles are non-empty and
+# parseable (pprof -top symbolizes runtime profiles without the binary).
+profile-smoke:
+	$(GO) run ./cmd/nocexplore -n 4 -episodes 8 -threads 4 -progress 0 \
+		-mutexprofile /tmp/routerless-mutex.pprof -blockprofile /tmp/routerless-block.pprof > /dev/null
+	test -s /tmp/routerless-mutex.pprof
+	test -s /tmp/routerless-block.pprof
+	$(GO) tool pprof -top /tmp/routerless-mutex.pprof > /dev/null
+	$(GO) tool pprof -top /tmp/routerless-block.pprof > /dev/null

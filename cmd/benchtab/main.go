@@ -32,6 +32,8 @@ func main() {
 	manifestPath := flag.String("manifest", "", "append a JSONL run-provenance manifest to this path")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "simulation points run in parallel per experiment (1 = sequential; reports are identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention pprof profile of the experiment run to this file")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine-blocking pprof profile of the experiment run to this file")
 	flag.Parse()
 
 	if *list {
@@ -144,6 +146,23 @@ func main() {
 			os.Exit(1)
 		}
 		stopProfile = stop
+	}
+	// Contention profiles share the bracket; the combined stop keeps both
+	// run paths below to a single call.
+	if *mutexProfile != "" || *blockProfile != "" {
+		stopContention, err := obs.StartContentionProfiles(*mutexProfile, *blockProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		stopCPU := stopProfile
+		stopProfile = func() {
+			stopCPU()
+			if err := stopContention(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				os.Exit(1)
+			}
+		}
 	}
 	o := exp.Options{Quick: !*full, Seed: *seed, Workers: *jobs, Metrics: reg, Events: events, Trace: tracer}
 	if *id == "all" {

@@ -47,6 +47,8 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a metrics snapshot as JSON to this path at exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address while running")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the search to this file (offline alternative to -debug-addr's /debug/pprof/)")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention pprof profile of the search to this file (which locks learners waited on)")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine-blocking pprof profile of the search to this file")
 	eventsPath := flag.String("events", "", "write structured JSONL run events to this path")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the search (load in Perfetto) to this path")
 	manifestPath := flag.String("manifest", "", "append a JSONL run-provenance manifest (config, seed, git rev, wall time, metrics) to this path")
@@ -178,10 +180,28 @@ func main() {
 		}
 		stopProfile = stop
 	}
+	// Contention profiles share the search bracket: they answer which locks
+	// the learner goroutines queued on (mutex) and where goroutines blocked
+	// (block) during exactly the profiled search.
+	stopContention, err := obs.StartContentionProfiles(*mutexProfile, *blockProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocexplore:", err)
+		os.Exit(1)
+	}
 	res := s.Run()
 	stopProfile()
+	if err := stopContention(); err != nil {
+		fmt.Fprintln(os.Stderr, "nocexplore:", err)
+		os.Exit(1)
+	}
 	if *cpuProfile != "" {
 		fmt.Fprintf(os.Stderr, "nocexplore: cpu profile written to %s\n", *cpuProfile)
+	}
+	if *mutexProfile != "" {
+		fmt.Fprintf(os.Stderr, "nocexplore: mutex profile written to %s\n", *mutexProfile)
+	}
+	if *blockProfile != "" {
+		fmt.Fprintf(os.Stderr, "nocexplore: block profile written to %s\n", *blockProfile)
 	}
 
 	// The trace is exported only after Run returns, when every worker

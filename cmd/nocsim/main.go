@@ -48,6 +48,8 @@ func main() {
 	dense := flag.Bool("dense", false, "disable active-set sparse stepping (dense oracle walk; same results, slower below saturation)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "sweep points simulated in parallel (1 = sequential; output is identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention pprof profile of the simulation to this file")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine-blocking pprof profile of the simulation to this file")
 	flag.Parse()
 
 	var reg *obs.Registry
@@ -197,6 +199,21 @@ func main() {
 			fatal(err)
 		}
 		stopProfile = stop
+	}
+	// Contention profiles share the same bracket as the CPU profile; the
+	// combined stop keeps both run paths below to a single call.
+	if *mutexProfile != "" || *blockProfile != "" {
+		stopContention, err := obs.StartContentionProfiles(*mutexProfile, *blockProfile)
+		if err != nil {
+			fatal(err)
+		}
+		stopCPU := stopProfile
+		stopProfile = func() {
+			stopCPU()
+			if err := stopContention(); err != nil {
+				fatal(err)
+			}
+		}
 	}
 
 	if *app != "" {

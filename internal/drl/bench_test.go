@@ -1,6 +1,7 @@
 package drl
 
 import (
+	"fmt"
 	"math/rand"
 	"strconv"
 	"sync"
@@ -77,6 +78,117 @@ func BenchmarkDRLEpisodeBroker(b *testing.B) {
 // lives in BENCH_PR7.json.
 func BenchmarkDRLEpisodeBrokerF32(b *testing.B) {
 	benchEpisodeBroker(b, true)
+}
+
+// BenchmarkParamServerRoundTrip measures the per-episode parameter exchange
+// at a realistic parameter count. "pair/whole-lock" is the pre-PR 10 worker
+// path — apply then snapshotInto under one whole-vector mutex, two lock
+// acquisitions and three O(P) sweeps; "fused" is applyAndFetch, which
+// clips, steps, and copies out in one pass, at both the whole-vector and
+// the default chunked lock shapes. Before/after numbers for PR 10 live in
+// BENCH_PR10.json.
+func BenchmarkParamServerRoundTrip(b *testing.B) {
+	const dim = 1 << 16
+	init := make([]float64, dim)
+	grads := make([]float64, dim)
+	for i := range grads {
+		grads[i] = 0.01 * float64(i%7)
+	}
+	dst := make([]float64, dim)
+	b.Run("pair/whole-lock", func(b *testing.B) {
+		ps := newParamServer(init, 1e-3, 1.0, -1, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ps.apply(grads)
+			ps.snapshotInto(dst)
+		}
+	})
+	b.Run("fused/whole-lock", func(b *testing.B) {
+		ps := newParamServer(init, 1e-3, 1.0, -1, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ps.applyAndFetch(grads, dst)
+		}
+	})
+	b.Run("fused/chunked", func(b *testing.B) {
+		ps := newParamServer(init, 1e-3, 1.0, 0, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ps.applyAndFetch(grads, dst)
+		}
+	})
+}
+
+// BenchmarkParamServerContention measures concurrent workers pushing fused
+// round-trips through the whole-vector lock (the "before" regime) versus
+// the default chunk striping, where workers pipeline through the vector
+// chunk by chunk. SetParallelism forces real goroutine multiplexing on a
+// 1-CPU host; contended_frac is the portable signal there.
+func BenchmarkParamServerContention(b *testing.B) {
+	const dim = 1 << 16
+	init := make([]float64, dim)
+	grads := make([]float64, dim)
+	for i := range grads {
+		grads[i] = 0.01 * float64(i%7)
+	}
+	for _, tc := range []struct {
+		name  string
+		chunk int
+	}{{"whole-lock", -1}, {"chunked", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			ps := newParamServer(init, 1e-3, 1.0, tc.chunk, nil)
+			b.SetParallelism(8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				dst := make([]float64, dim)
+				for pb.Next() {
+					ps.applyAndFetch(grads, dst)
+				}
+			})
+			b.StopTimer()
+			ls := ps.lockStats()
+			if ls.Acquires > 0 {
+				b.ReportMetric(float64(ls.Contended)/float64(ls.Acquires), "contended_frac")
+			}
+		})
+	}
+}
+
+// BenchmarkDRLSearchThreads is the end-to-end §4.6 scaling row: one op is a
+// complete 16-episode search (DNN + MCTS + parameter server) split across
+// the given learner-thread count, exercising the striped tree and chunked
+// server exactly as production Run does. On a multi-core host ns/op should
+// fall with threads; on a 1-CPU bench host wall-clock is honestly flat and
+// the contended_frac metrics (tree and server) carry the story.
+func BenchmarkDRLSearchThreads(b *testing.B) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			b.ReportAllocs()
+			var treeFrac, servFrac float64
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig(8, 14)
+				cfg.NN = nn.Config{N: 8, BaseChannels: 2, Pools: 2}
+				cfg.Episodes = 16
+				cfg.Threads = threads
+				s := MustNew(cfg)
+				s.Run()
+				ts := s.tree.LockStats()
+				if ts.Acquires > 0 {
+					treeFrac = float64(ts.Contended) / float64(ts.Acquires)
+				}
+				ss := s.server.lockStats()
+				if ss.Acquires > 0 {
+					servFrac = float64(ss.Contended) / float64(ss.Acquires)
+				}
+			}
+			b.ReportMetric(treeFrac, "tree_contended_frac")
+			b.ReportMetric(servFrac, "server_contended_frac")
+		})
+	}
 }
 
 func benchEpisodeBroker(b *testing.B, f32 bool) {

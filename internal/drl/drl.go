@@ -98,6 +98,17 @@ type Config struct {
 	// latency on the first request of each batch. Ignored when
 	// InferBatch == 0.
 	InferFlush time.Duration
+	// TreeStripes overrides the MCTS tree's lock-stripe count: 0 selects
+	// mcts.DefaultStripes, 1 keeps the whole node map under one mutex (the
+	// pre-striping whole-lock oracle). Purely a concurrency knob — the
+	// stripe count never changes results at Threads == 1.
+	TreeStripes int
+	// ParamChunk is the parameter server's lock-chunk length in weights:
+	// 0 selects the server default, negative keeps the whole weight vector
+	// under one lock (the pre-striping oracle). Single-threaded runs are
+	// bit-identical at every chunk length; multi-threaded runs relax to
+	// hogwild-over-stripes (see server.go).
+	ParamChunk int
 	// Seed makes single-threaded runs fully deterministic.
 	Seed int64
 	// InitWeights, when non-nil, warm-starts the policy/value network
@@ -194,7 +205,7 @@ func New(cfg Config) (*Searcher, error) {
 	if cfg.NN.N != cfg.N {
 		return nil, fmt.Errorf("drl: NN config N=%d mismatches NoC N=%d", cfg.NN.N, cfg.N)
 	}
-	s := &Searcher{cfg: cfg, tree: mcts.NewTree(cfg.CPuct)}
+	s := &Searcher{cfg: cfg, tree: mcts.NewTreeStripes(cfg.CPuct, cfg.TreeStripes)}
 	if cfg.UseDNN {
 		master := nn.NewPolicyValueNet(cfg.NN, cfg.Seed)
 		init := cfg.InitWeights
@@ -204,7 +215,7 @@ func New(cfg Config) (*Searcher, error) {
 			return nil, fmt.Errorf("drl: InitWeights has %d values, network needs %d",
 				len(init), master.NumParams())
 		}
-		s.server = newParamServer(init, cfg.LR, cfg.GradClip, cfg.Metrics)
+		s.server = newParamServer(init, cfg.LR, cfg.GradClip, cfg.ParamChunk, cfg.Metrics)
 	}
 	return s, nil
 }
@@ -277,6 +288,20 @@ func (s *Searcher) Run() *Result {
 	s.result.TreeSize = s.tree.Size()
 	out := s.result
 	s.mu.Unlock()
+	// Contention telemetry: how often learners queued on a tree stripe or a
+	// parameter chunk this run. Gauge handles are nil-safe no-ops without a
+	// registry, so this costs nothing un-instrumented.
+	reg := s.cfg.Metrics
+	ts := s.tree.LockStats()
+	reg.Gauge("mcts.lock_stripes").Set(float64(ts.Stripes))
+	reg.Gauge("mcts.lock_acquires").Set(float64(ts.Acquires))
+	reg.Gauge("mcts.lock_contended").Set(float64(ts.Contended))
+	if s.server != nil {
+		ss := s.server.lockStats()
+		reg.Gauge("drl.server_lock_chunks").Set(float64(ss.Chunks))
+		reg.Gauge("drl.server_lock_acquires").Set(float64(ss.Acquires))
+		reg.Gauge("drl.server_lock_contended").Set(float64(ss.Contended))
+	}
 	stop := map[string]any{
 		"episodes":  out.Episodes,
 		"valid":     len(out.Valid),
@@ -420,9 +445,14 @@ func (s *Searcher) worker(tid, episodes int) {
 			net.ZeroGrads()
 			mse = a2c.Accumulate(net, traj)
 			net.CopyGradsInto(grads)
-			s.server.apply(grads)
+			// Fused push/pull: one chunk-walk clips, applies the SGD step,
+			// and copies the updated weights back out — replacing the former
+			// apply + snapshotInto pair (two lock acquisitions, three O(P)
+			// sweeps per episode). Single-threaded this is bit-identical to
+			// the pair; multi-threaded the fetch is exactly this worker's
+			// post-update view per chunk.
+			s.server.applyAndFetch(grads, weights)
 			net.ZeroGrads()
-			s.server.snapshotInto(weights)
 			net.SetWeights(weights)
 			if s.broker != nil {
 				// Publish the refreshed weights (and the running statistics
@@ -460,7 +490,9 @@ func (s *Searcher) worker(tid, episodes int) {
 		if design != nil {
 			validCounter.Inc()
 		}
-		if s.cfg.UseMCTS && reg != nil {
+		if s.cfg.UseMCTS {
+			// treeGauge is a nil-safe no-op without a registry, like every
+			// other handle in this loop — gate only on the tree existing.
 			treeGauge.Set(float64(s.tree.Size()))
 		}
 		if s.cfg.Events.Enabled(obs.LevelDebug) {

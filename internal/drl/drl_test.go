@@ -126,31 +126,70 @@ func TestSearchBeatsRECAt4x4(t *testing.T) {
 func TestSearchDeterministicSingleThread(t *testing.T) {
 	a := MustNew(quickCfg(4, 6, 5)).Run()
 	b := MustNew(quickCfg(4, 6, 5)).Run()
+	assertSameResult(t, "rerun", a, b)
+}
+
+// assertSameResult fails unless the two search results agree on every
+// observable output — episode count, per-episode value error to the bit,
+// every valid design (discovery episode, loop count, hops, exact topology),
+// the best design, and the tree size.
+func assertSameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
 	if a.Episodes != b.Episodes || a.TreeSize != b.TreeSize {
-		t.Fatalf("nondeterministic run shape: %d episodes/%d nodes vs %d/%d",
-			a.Episodes, a.TreeSize, b.Episodes, b.TreeSize)
+		t.Fatalf("%s: run shape differs: %d episodes/%d nodes vs %d/%d",
+			label, a.Episodes, a.TreeSize, b.Episodes, b.TreeSize)
 	}
 	if len(a.ValueMSE) != len(b.ValueMSE) {
-		t.Fatalf("value-MSE series lengths differ: %d vs %d", len(a.ValueMSE), len(b.ValueMSE))
+		t.Fatalf("%s: value-MSE series lengths differ: %d vs %d", label, len(a.ValueMSE), len(b.ValueMSE))
 	}
 	for i := range a.ValueMSE {
 		if a.ValueMSE[i] != b.ValueMSE[i] {
-			t.Fatalf("episode %d value MSE differs: %v vs %v", i, a.ValueMSE[i], b.ValueMSE[i])
+			t.Fatalf("%s: episode %d value MSE differs: %v vs %v", label, i, a.ValueMSE[i], b.ValueMSE[i])
 		}
 	}
 	if len(a.Valid) != len(b.Valid) {
-		t.Fatalf("valid-design counts differ: %d vs %d", len(a.Valid), len(b.Valid))
+		t.Fatalf("%s: valid-design counts differ: %d vs %d", label, len(a.Valid), len(b.Valid))
 	}
 	for i := range a.Valid {
 		da, db := a.Valid[i], b.Valid[i]
 		if da.Episode != db.Episode || da.Loops != db.Loops || da.AvgHops != db.AvgHops ||
 			da.Topo.Fingerprint() != db.Topo.Fingerprint() {
-			t.Fatalf("valid design %d differs: ep %d/%d loops %d/%d hops %v/%v",
-				i, da.Episode, db.Episode, da.Loops, db.Loops, da.AvgHops, db.AvgHops)
+			t.Fatalf("%s: valid design %d differs: ep %d/%d loops %d/%d hops %v/%v",
+				label, i, da.Episode, db.Episode, da.Loops, db.Loops, da.AvgHops, db.AvgHops)
 		}
 	}
-	if a.Best.AvgHops != b.Best.AvgHops || a.Best.Topo.Fingerprint() != b.Best.Topo.Fingerprint() {
-		t.Fatalf("best designs differ: %.3f vs %.3f", a.Best.AvgHops, b.Best.AvgHops)
+	if (a.Best.Topo == nil) != (b.Best.Topo == nil) {
+		t.Fatalf("%s: one run found a best design, the other none", label)
+	}
+	if a.Best.Topo != nil &&
+		(a.Best.AvgHops != b.Best.AvgHops || a.Best.Topo.Fingerprint() != b.Best.Topo.Fingerprint()) {
+		t.Fatalf("%s: best designs differ: %.3f vs %.3f", label, a.Best.AvgHops, b.Best.AvgHops)
+	}
+}
+
+// TestSearchDeterministicAcrossLockShapes pins the PR 10 byte-identity
+// contract: at Threads == 1 the tree stripe count and the parameter-server
+// chunk length are pure locking decompositions — every combination of
+// whole-lock oracle, small, and default shapes must reproduce the identical
+// Result, because per-node edge logic and the per-element SGD sequence are
+// independent of which mutex guards them.
+func TestSearchDeterministicAcrossLockShapes(t *testing.T) {
+	base := MustNew(quickCfg(4, 6, 5)).Run()
+	shapes := []struct {
+		name    string
+		stripes int
+		chunk   int
+	}{
+		{"whole-lock oracles", 1, -1},
+		{"tiny stripes+chunks", 2, 5},
+		{"stripes only", 4, -1},
+		{"chunks only", 1, 64},
+	}
+	for _, sh := range shapes {
+		cfg := quickCfg(4, 6, 5)
+		cfg.TreeStripes = sh.stripes
+		cfg.ParamChunk = sh.chunk
+		assertSameResult(t, sh.name, base, MustNew(cfg).Run())
 	}
 }
 
@@ -163,6 +202,27 @@ func TestSearchMultiThreaded(t *testing.T) {
 	}
 	if len(res.Valid) == 0 {
 		t.Fatal("multithreaded search found nothing")
+	}
+	for _, d := range res.Valid {
+		if !d.Topo.FullyConnected() || d.Topo.MaxOverlap() > 6 {
+			t.Fatal("invalid design recorded as valid")
+		}
+	}
+}
+
+// TestSearchMultiThreadedStriped drives concurrent learners through
+// deliberately tiny tree stripes and parameter chunks, so the quick-config
+// net actually spans many chunks and stripe collisions happen (this file
+// runs under -race in make ci): the hogwild-over-stripes path must still
+// produce only valid designs and exact episode accounting.
+func TestSearchMultiThreadedStriped(t *testing.T) {
+	cfg := quickCfg(4, 6, 8)
+	cfg.Threads = 4
+	cfg.TreeStripes = 4
+	cfg.ParamChunk = 97
+	res := MustNew(cfg).Run()
+	if res.Episodes != 8 {
+		t.Fatalf("episodes = %d", res.Episodes)
 	}
 	for _, d := range res.Valid {
 		if !d.Topo.FullyConnected() || d.Topo.MaxOverlap() > 6 {
@@ -334,7 +394,7 @@ func TestWarmStartWeights(t *testing.T) {
 }
 
 func TestParamServer(t *testing.T) {
-	ps := newParamServer([]float64{1, 2}, 0.5, 1, nil)
+	ps := newParamServer([]float64{1, 2}, 0.5, 1, 0, nil)
 	ps.apply([]float64{2, -4}) // clipped to [1, -1]
 	w := ps.snapshot()
 	if w[0] != 0.5 || w[1] != 2.5 {
@@ -351,7 +411,7 @@ func TestParamServer(t *testing.T) {
 }
 
 func TestParamServerLengthMismatchPanics(t *testing.T) {
-	ps := newParamServer([]float64{1}, 0.1, 0, nil)
+	ps := newParamServer([]float64{1}, 0.1, 0, 0, nil)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic")

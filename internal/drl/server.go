@@ -3,21 +3,62 @@ package drl
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"routerless/internal/obs"
 )
 
+// defaultParamChunk is the lock-chunk length (in weights) newParamServer
+// selects: long enough that the per-chunk lock cost is noise against the
+// O(chunk) float work it guards, short enough that the multi-megabyte nets
+// split into several chunks concurrent workers can pipeline through.
+const defaultParamChunk = 16384
+
+// paramChunk is the lock guarding one fixed-length chunk of the weight
+// vector, with the same TryLock-first contention telemetry as the MCTS tree
+// stripes: acquires counts every acquisition, contended the subset that
+// found the chunk held and had to queue.
+type paramChunk struct {
+	mu        sync.Mutex
+	acquires  atomic.Int64
+	contended atomic.Int64
+}
+
+// lock acquires the chunk mutex, counting the acquisition and whether it
+// contended. The uncontended path is one CAS (TryLock) plus one atomic add.
+func (c *paramChunk) lock() {
+	if !c.mu.TryLock() {
+		c.contended.Add(1)
+		c.mu.Lock()
+	}
+	c.acquires.Add(1)
+}
+
 // paramServer is the parent thread's shared parameter store (§4.6, Fig. 8):
 // child learners pull weight snapshots and push gradients; the server
-// applies clipped SGD updates under a lock, which both serializes updates
-// and effectively averages concurrent large and small gradients into the
-// shared parameters.
+// applies clipped SGD updates under per-chunk locks.
+//
+// The weight vector is striped into fixed chunks, each with its own mutex,
+// so concurrent workers pipeline through the vector chunk by chunk instead
+// of serializing on one whole-vector lock. Within a chunk every update is
+// atomic; across chunks concurrent readers can observe some chunks before
+// and some after an in-flight update ("hogwild over stripes" — the §4.6
+// relaxation, where asynchronous learners effectively average through the
+// shared parameters anyway). Single-threaded runs are bit-identical at any
+// chunk length: chunks are walked in index order, the per-element update
+// sequence is unchanged, and the norm accumulators are threaded through the
+// chunk walk in that same element order. Config.ParamChunk < 0 keeps the
+// whole vector in one chunk — the pre-striping whole-lock regime, retained
+// as the tested oracle.
 type paramServer struct {
-	mu      sync.Mutex
 	weights []float64
 	lr      float64
 	clip    float64
-	updates int
+	// chunk is the stride in weights; chunks[i] guards
+	// weights[i*chunk : min((i+1)*chunk, len)].
+	chunk   int
+	chunks  []paramChunk
+	updates atomic.Int64
 
 	// Telemetry (nil-safe no-ops when the search runs without a registry):
 	// L2 gradient norms before and after element-wise clipping, and the
@@ -27,40 +68,93 @@ type paramServer struct {
 	updateC  *obs.Counter
 }
 
-func newParamServer(init []float64, lr, clip float64, reg *obs.Registry) *paramServer {
+// newParamServer builds a server over a copy of init. chunk is the
+// lock-chunk length in weights: 0 selects defaultParamChunk, negative keeps
+// the whole vector under one lock (the oracle regime).
+func newParamServer(init []float64, lr, clip float64, chunk int, reg *obs.Registry) *paramServer {
 	w := append([]float64(nil), init...)
+	switch {
+	case chunk == 0:
+		chunk = defaultParamChunk
+	case chunk < 0:
+		chunk = len(w)
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	n := (len(w) + chunk - 1) / chunk
+	if n < 1 {
+		n = 1
+	}
 	return &paramServer{
 		weights:  w,
 		lr:       lr,
 		clip:     clip,
+		chunk:    chunk,
+		chunks:   make([]paramChunk, n),
 		gradPre:  reg.Gauge("drl.grad_norm_preclip"),
 		gradPost: reg.Gauge("drl.grad_norm_postclip"),
 		updateC:  reg.Counter("drl.updates"),
 	}
 }
 
+// rangeOf returns the weight range [lo, hi) guarded by chunks[c].
+func (ps *paramServer) rangeOf(c int) (lo, hi int) {
+	lo = c * ps.chunk
+	hi = lo + ps.chunk
+	if hi > len(ps.weights) {
+		hi = len(ps.weights)
+	}
+	return lo, hi
+}
+
 // snapshot copies the current weights.
 func (ps *paramServer) snapshot() []float64 {
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	return append([]float64(nil), ps.weights...)
+	dst := make([]float64, len(ps.weights))
+	ps.snapshotInto(dst)
+	return dst
 }
 
 // snapshotInto copies the current weights into dst, the allocation-free
-// variant workers use every episode (dst is each worker's private buffer).
+// variant workers use (dst is each worker's private buffer). Chunks are
+// copied under their own locks, so with multiple chunks a concurrent update
+// can be visible in some chunks and not others (never within a chunk).
 func (ps *paramServer) snapshotInto(dst []float64) {
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
 	if len(dst) != len(ps.weights) {
 		panic("drl: snapshot buffer/weight length mismatch")
 	}
-	copy(dst, ps.weights)
+	for c := range ps.chunks {
+		lo, hi := ps.rangeOf(c)
+		ck := &ps.chunks[c]
+		ck.lock()
+		copy(dst[lo:hi], ps.weights[lo:hi])
+		ck.mu.Unlock()
+	}
 }
 
 // apply performs one SGD step with the child's gradients (Eqs. 19–20).
 func (ps *paramServer) apply(grads []float64) {
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
+	ps.update(grads, nil)
+}
+
+// applyAndFetch is the fused per-episode round-trip: it clips, applies the
+// SGD step, and copies each updated weight into dst in one pass under one
+// lock acquisition per chunk — replacing the worker's former apply +
+// snapshotInto pair (two acquisitions and three O(P) sweeps). The fetched
+// weights are exactly the post-update values this call produced for each
+// chunk, which single-threaded equals apply-then-snapshot bit for bit.
+func (ps *paramServer) applyAndFetch(grads, dst []float64) {
+	if len(dst) != len(ps.weights) {
+		panic("drl: snapshot buffer/weight length mismatch")
+	}
+	ps.update(grads, dst)
+}
+
+// update walks the chunks in index order applying the clipped SGD step,
+// mirroring updated weights into dst when non-nil. The norm accumulators
+// thread through the walk, so telemetry sums in strict element order —
+// bit-identical at every chunk length.
+func (ps *paramServer) update(grads, dst []float64) {
 	if len(grads) != len(ps.weights) {
 		panic("drl: gradient/weight length mismatch")
 	}
@@ -68,23 +162,19 @@ func (ps *paramServer) apply(grads []float64) {
 	// un-instrumented path free of the extra multiplies.
 	track := ps.gradPre != nil
 	preSq, postSq := 0.0, 0.0
-	for i, g := range grads {
-		if track {
-			preSq += g * g
+	for c := range ps.chunks {
+		lo, hi := ps.rangeOf(c)
+		var d []float64
+		if dst != nil {
+			d = dst[lo:hi]
 		}
-		if ps.clip > 0 {
-			if g > ps.clip {
-				g = ps.clip
-			} else if g < -ps.clip {
-				g = -ps.clip
-			}
-		}
-		if track {
-			postSq += g * g
-		}
-		ps.weights[i] -= ps.lr * g
+		ck := &ps.chunks[c]
+		ck.lock()
+		preSq, postSq = applyRange(ps.weights[lo:hi], grads[lo:hi], d,
+			ps.lr, ps.clip, track, preSq, postSq)
+		ck.mu.Unlock()
 	}
-	ps.updates++
+	ps.updates.Add(1)
 	if track {
 		ps.gradPre.Set(math.Sqrt(preSq))
 		ps.gradPost.Set(math.Sqrt(postSq))
@@ -92,9 +182,107 @@ func (ps *paramServer) apply(grads []float64) {
 	}
 }
 
+// applyRange performs the element-wise clipped SGD update
+// w[i] -= lr*clip(g[i]) for one locked chunk, mirroring every updated
+// weight into dst (when non-nil) in the same pass, and extends the running
+// pre/post-clip squared-norm accumulators. The clip and telemetry branches
+// are hoisted out of the per-element loop into four specialized loops; each
+// performs the identical per-element arithmetic in the identical order, so
+// which loop runs is bit-invisible. When clip <= 0 the post-clip additions
+// equal the pre-clip additions and the accumulators start equal (both sum
+// the same prefix), so one running sum serves both.
+func applyRange(w, g, dst []float64, lr, clip float64, track bool, preSq, postSq float64) (float64, float64) {
+	switch {
+	case track && clip > 0:
+		if dst != nil {
+			for i, gi := range g {
+				preSq += gi * gi
+				if gi > clip {
+					gi = clip
+				} else if gi < -clip {
+					gi = -clip
+				}
+				postSq += gi * gi
+				nw := w[i] - lr*gi
+				w[i] = nw
+				dst[i] = nw
+			}
+		} else {
+			for i, gi := range g {
+				preSq += gi * gi
+				if gi > clip {
+					gi = clip
+				} else if gi < -clip {
+					gi = -clip
+				}
+				postSq += gi * gi
+				w[i] -= lr * gi
+			}
+		}
+	case track:
+		for i, gi := range g {
+			preSq += gi * gi
+			nw := w[i] - lr*gi
+			w[i] = nw
+			if dst != nil {
+				dst[i] = nw
+			}
+		}
+		postSq = preSq
+	case clip > 0:
+		if dst != nil {
+			for i, gi := range g {
+				if gi > clip {
+					gi = clip
+				} else if gi < -clip {
+					gi = -clip
+				}
+				nw := w[i] - lr*gi
+				w[i] = nw
+				dst[i] = nw
+			}
+		} else {
+			for i, gi := range g {
+				if gi > clip {
+					gi = clip
+				} else if gi < -clip {
+					gi = -clip
+				}
+				w[i] -= lr * gi
+			}
+		}
+	default:
+		for i, gi := range g {
+			nw := w[i] - lr*gi
+			w[i] = nw
+			if dst != nil {
+				dst[i] = nw
+			}
+		}
+	}
+	return preSq, postSq
+}
+
 // updateCount returns how many gradient pushes have been applied.
 func (ps *paramServer) updateCount() int {
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	return ps.updates
+	return int(ps.updates.Load())
+}
+
+// serverLockStats aggregates the per-chunk lock telemetry, mirroring
+// mcts.LockStats: total acquisitions and how many of them contended.
+// Lock-free reads.
+type serverLockStats struct {
+	Chunks    int
+	Acquires  int64
+	Contended int64
+}
+
+// lockStats returns the server's lock-contention telemetry.
+func (ps *paramServer) lockStats() serverLockStats {
+	ls := serverLockStats{Chunks: len(ps.chunks)}
+	for c := range ps.chunks {
+		ls.Acquires += ps.chunks[c].acquires.Load()
+		ls.Contended += ps.chunks[c].contended.Load()
+	}
+	return ls
 }

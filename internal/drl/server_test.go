@@ -2,6 +2,7 @@ package drl
 
 import (
 	"math"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestParamServerClipBoundary(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			ps := newParamServer([]float64{0}, lr, clip, nil)
+			ps := newParamServer([]float64{0}, lr, clip, 0, nil)
 			ps.apply([]float64{tc.grad})
 			got := ps.snapshot()[0]
 			if math.Abs(got-tc.want) > 1e-12 {
@@ -44,7 +45,7 @@ func TestParamServerClipBoundary(t *testing.T) {
 
 // TestParamServerNoClip verifies clip <= 0 disables clipping entirely.
 func TestParamServerNoClip(t *testing.T) {
-	ps := newParamServer([]float64{0}, 1, 0, nil)
+	ps := newParamServer([]float64{0}, 1, 0, 0, nil)
 	ps.apply([]float64{42})
 	if got := ps.snapshot()[0]; got != -42 {
 		t.Fatalf("weight = %v, want -42", got)
@@ -52,11 +53,13 @@ func TestParamServerNoClip(t *testing.T) {
 }
 
 // TestParamServerConcurrentSnapshotApply hammers snapshot/apply from many
-// goroutines; run with -race to verify the lock discipline. Every applied
-// gradient moves all weights in lockstep, so any snapshot must be uniform.
+// goroutines; run with -race to verify the lock discipline. The vector fits
+// one chunk (whole-lock mode forced via a negative chunk), so every applied
+// gradient moves all weights in lockstep and any snapshot must be uniform —
+// the pre-striping atomicity contract this mode preserves.
 func TestParamServerConcurrentSnapshotApply(t *testing.T) {
 	const dim, workers, iters = 64, 8, 200
-	ps := newParamServer(make([]float64, dim), 0.01, 1.0, nil)
+	ps := newParamServer(make([]float64, dim), 0.01, 1.0, -1, nil)
 	grads := make([]float64, dim)
 	for i := range grads {
 		grads[i] = 0.5
@@ -88,11 +91,162 @@ func TestParamServerConcurrentSnapshotApply(t *testing.T) {
 	}
 }
 
+// TestParamServerConcurrentChunked hammers the fused applyAndFetch and
+// snapshotInto across a deliberately tiny chunk length (many chunks per
+// vector) from many goroutines; run with -race in make ci. Every gradient
+// element is the same constant, so although readers may observe chunks at
+// different update counts mid-run (the documented hogwild-over-stripes
+// relaxation), each element's final value is the exact same subtraction
+// sequence regardless of interleaving — the chunk lock serializes the
+// element's updates and all deltas are equal.
+func TestParamServerConcurrentChunked(t *testing.T) {
+	const dim, chunk, workers, iters = 130, 7, 8, 200
+	ps := newParamServer(make([]float64, dim), 0.01, 1.0, chunk, nil)
+	if got, want := len(ps.chunks), (dim+chunk-1)/chunk; got != want {
+		t.Fatalf("chunks = %d, want %d", got, want)
+	}
+	grads := make([]float64, dim)
+	for i := range grads {
+		grads[i] = 0.5
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]float64, dim)
+			for i := 0; i < iters; i++ {
+				ps.applyAndFetch(grads, dst)
+				ps.snapshotInto(dst)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ps.updateCount(); got != workers*iters {
+		t.Fatalf("updateCount = %d, want %d", got, workers*iters)
+	}
+	// Read the lock telemetry before the verification snapshot below adds
+	// its own chunk walk: two walks per iteration per worker (applyAndFetch
+	// + snapshotInto).
+	ls := ps.lockStats()
+	if ls.Chunks != (dim+chunk-1)/chunk {
+		t.Fatalf("lockStats.Chunks = %d", ls.Chunks)
+	}
+	if want := int64(workers * iters * ls.Chunks * 2); ls.Acquires != want {
+		t.Fatalf("lockStats.Acquires = %d, want %d", ls.Acquires, want)
+	}
+	// All updates subtract the identical lr*0.5 delta, so the final value is
+	// exact for every element at every chunk length.
+	ref := 0.0
+	for i := 0; i < workers*iters; i++ {
+		ref -= 0.01 * 0.5
+	}
+	for i, w := range ps.snapshot() {
+		if w != ref {
+			t.Fatalf("w[%d] = %v, want %v", i, w, ref)
+		}
+	}
+}
+
+// TestParamServerFusedMatchesPair is the byte-identity oracle for the fused
+// round-trip: applyAndFetch must leave the server weights and fill the
+// worker buffer with exactly the bits the former apply-then-snapshotInto
+// pair produced, including the norm gauges, over randomized gradient
+// sequences and both clip regimes.
+func TestParamServerFusedMatchesPair(t *testing.T) {
+	for _, clip := range []float64{0, 0.8} {
+		regA, regB := obs.NewRegistry(), obs.NewRegistry()
+		const dim = 257
+		init := make([]float64, dim)
+		rng := rand.New(rand.NewSource(42))
+		for i := range init {
+			init[i] = rng.NormFloat64()
+		}
+		pair := newParamServer(init, 0.05, clip, 0, regA)
+		fused := newParamServer(init, 0.05, clip, 0, regB)
+		grads := make([]float64, dim)
+		dstPair := make([]float64, dim)
+		dstFused := make([]float64, dim)
+		for step := 0; step < 50; step++ {
+			for i := range grads {
+				grads[i] = 2 * rng.NormFloat64()
+			}
+			pair.apply(grads)
+			pair.snapshotInto(dstPair)
+			fused.applyAndFetch(grads, dstFused)
+			for i := range dstPair {
+				if dstPair[i] != dstFused[i] {
+					t.Fatalf("clip %v step %d: fetched w[%d] = %v, pair fetched %v",
+						clip, step, i, dstFused[i], dstPair[i])
+				}
+			}
+		}
+		sa, sb := regA.Snapshot(), regB.Snapshot()
+		for _, g := range []string{"drl.grad_norm_preclip", "drl.grad_norm_postclip"} {
+			if sa.Gauges[g] != sb.Gauges[g] {
+				t.Fatalf("clip %v: gauge %s diverged: %v vs %v", clip, g, sa.Gauges[g], sb.Gauges[g])
+			}
+		}
+	}
+}
+
+// TestParamServerChunkedMatchesWholeLock is the single-thread byte-identity
+// oracle for weight striping: identical gradient sequences applied at chunk
+// lengths 1, 3, 64, the default, and whole-vector must produce bit-equal
+// weights after every step and bit-equal norm telemetry — chunking only
+// changes which lock guards an element, never the update or the
+// accumulation order (the norm sums thread through the chunk walk).
+func TestParamServerChunkedMatchesWholeLock(t *testing.T) {
+	const dim = 200
+	rng := rand.New(rand.NewSource(7))
+	init := make([]float64, dim)
+	for i := range init {
+		init[i] = rng.NormFloat64()
+	}
+	regOracle := obs.NewRegistry()
+	oracle := newParamServer(init, 0.03, 0.9, -1, regOracle) // whole-lock
+	type cand struct {
+		ps  *paramServer
+		reg *obs.Registry
+		n   int
+	}
+	var cands []cand
+	for _, chunk := range []int{1, 3, 64, 0} {
+		reg := obs.NewRegistry()
+		cands = append(cands, cand{newParamServer(init, 0.03, 0.9, chunk, reg), reg, chunk})
+	}
+	grads := make([]float64, dim)
+	buf := make([]float64, dim)
+	want := make([]float64, dim)
+	for step := 0; step < 40; step++ {
+		for i := range grads {
+			grads[i] = 3 * rng.NormFloat64()
+		}
+		oracle.applyAndFetch(grads, want)
+		so := regOracle.Snapshot()
+		for _, c := range cands {
+			c.ps.applyAndFetch(grads, buf)
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Fatalf("chunk %d step %d: w[%d] = %v, oracle %v", c.n, step, i, buf[i], want[i])
+				}
+			}
+			sc := c.reg.Snapshot()
+			for _, g := range []string{"drl.grad_norm_preclip", "drl.grad_norm_postclip"} {
+				if sc.Gauges[g] != so.Gauges[g] {
+					t.Fatalf("chunk %d step %d: gauge %s = %v, oracle %v",
+						c.n, step, g, sc.Gauges[g], so.Gauges[g])
+				}
+			}
+		}
+	}
+}
+
 // TestParamServerGradNormGauges verifies the pre/post-clip L2 norms and
 // update counter reach the registry.
 func TestParamServerGradNormGauges(t *testing.T) {
 	reg := obs.NewRegistry()
-	ps := newParamServer(make([]float64, 2), 0.1, 1.0, reg)
+	ps := newParamServer(make([]float64, 2), 0.1, 1.0, 0, reg)
 	ps.apply([]float64{3, -4}) // pre-clip norm 5; clipped to (1,-1), norm sqrt(2)
 	s := reg.Snapshot()
 	if got := s.Gauges["drl.grad_norm_preclip"]; math.Abs(got-5) > 1e-12 {

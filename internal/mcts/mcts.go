@@ -5,6 +5,14 @@
 // cumulative return V of the subtree it leads to. Selection follows the
 // upper-confidence rule of Eqs. 21–22; an ε-greedy override defers to the
 // greedy search of Algorithm 1 (implemented in package rl).
+//
+// The tree is shared by the multi-threaded learners of §4.6, so its node
+// map is split into hash-striped shards (FNV-1a over the fingerprint), each
+// with its own mutex: operations on different states proceed concurrently,
+// and only learners touching the same stripe serialize. Striping is purely
+// a locking decomposition — per-node edge logic is identical at every
+// stripe count, so single-threaded runs are byte-identical whether the
+// tree has 1 stripe (the pre-striping whole-lock oracle) or 64.
 package mcts
 
 import (
@@ -67,17 +75,46 @@ func (n *Node) insert(i int, a rl.Action, e Edge) *Edge {
 	return &n.Edges[i].Edge
 }
 
+// DefaultStripes is the stripe count NewTree selects: enough that eight
+// learners rendezvousing on the same stripe is rare, small enough that the
+// per-stripe maps stay warm.
+const DefaultStripes = 64
+
+// stripe is one shard of the node map with its own lock. A fingerprint's
+// owning stripe is fixed by its FNV-1a hash, so every operation on a state
+// contends only with operations on states sharing its stripe.
+type stripe struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+
+	// Lock telemetry, maintained with the TryLock-first pattern: acquires
+	// counts every acquisition, contended the subset that found the stripe
+	// already held and had to queue. Atomic so LockStats never takes locks.
+	acquires  atomic.Int64
+	contended atomic.Int64
+}
+
+// lock acquires the stripe mutex, counting the acquisition and whether it
+// contended. The uncontended path is one CAS (TryLock) plus one atomic add.
+func (s *stripe) lock() {
+	if !s.mu.TryLock() {
+		s.contended.Add(1)
+		s.mu.Lock()
+	}
+	s.acquires.Add(1)
+}
+
 // Tree is the shared search tree. All methods are safe for concurrent use
 // by the multi-threaded learners of §4.6.
 type Tree struct {
 	// C is the exploration constant c of Eq. 22.
 	C float64
 
-	mu    sync.Mutex
-	nodes map[string]*Node
+	stripes []stripe
+	mask    uint64
 
-	// Aggregate counters maintained alongside the map so telemetry reads
-	// (Size, Stats) never take the tree lock or walk the node map —
+	// Aggregate counters maintained alongside the maps so telemetry reads
+	// (Size, Stats) never take a stripe lock or walk the node maps —
 	// learners polling them per episode cannot serialize against each
 	// other's expansions and backups.
 	nodeCount  atomic.Int64
@@ -85,9 +122,50 @@ type Tree struct {
 	visitCount atomic.Int64
 }
 
-// NewTree builds an empty tree with exploration constant c.
-func NewTree(c float64) *Tree {
-	return &Tree{C: c, nodes: make(map[string]*Node)}
+// NewTree builds an empty tree with exploration constant c and the default
+// stripe count.
+func NewTree(c float64) *Tree { return NewTreeStripes(c, 0) }
+
+// NewTreeStripes builds an empty tree with n lock stripes (rounded up to a
+// power of two so stripe selection is a mask; n <= 0 selects
+// DefaultStripes). n == 1 degenerates to a single global mutex — the
+// whole-lock locking regime the striped tree is tested against. The stripe
+// count never changes results, only which operations can overlap in time:
+// per-node logic is identical, and within one goroutine operations happen
+// in program order regardless of how the map is sharded.
+func NewTreeStripes(c float64, n int) *Tree {
+	if n <= 0 {
+		n = DefaultStripes
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	t := &Tree{C: c, stripes: make([]stripe, pow), mask: uint64(pow - 1)}
+	for i := range t.stripes {
+		t.stripes[i].nodes = make(map[string]*Node)
+	}
+	return t
+}
+
+// Stripes returns the tree's lock-stripe count.
+func (t *Tree) Stripes() int { return len(t.stripes) }
+
+// stripeFor returns the stripe owning fingerprint fp: FNV-1a over the
+// canonical fingerprint bytes, masked to the stripe count. The fingerprint
+// is canonical per design (package topo), so every learner resolves a
+// state to the same stripe.
+func (t *Tree) stripeFor(fp string) *stripe {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(fp); i++ {
+		h ^= uint64(fp[i])
+		h *= prime64
+	}
+	return &t.stripes[h&t.mask]
 }
 
 // Size returns the number of stored states. Lock-free.
@@ -105,7 +183,7 @@ type TreeStats struct {
 
 // Stats returns the current tree statistics. The totals are maintained
 // incrementally by Expand and Backup, so this is a lock-free read rather
-// than a walk of the node map; concurrent mutation may make the three
+// than a walk of the node maps; concurrent mutation may make the three
 // counters reflect slightly different instants.
 func (t *Tree) Stats() TreeStats {
 	return TreeStats{
@@ -115,11 +193,43 @@ func (t *Tree) Stats() TreeStats {
 	}
 }
 
+// LockStats aggregates the per-stripe lock telemetry: total acquisitions,
+// how many of them contended (found the stripe held), and the node count of
+// the fullest stripe (a quick skew check on the FNV-1a distribution —
+// with a healthy hash MaxStripeNodes ≈ Nodes/Stripes once the tree has
+// grown past the stripe count). Acquires/Contended are lock-free reads;
+// MaxStripeNodes briefly takes each stripe lock.
+type LockStats struct {
+	Stripes        int
+	Acquires       int64
+	Contended      int64
+	MaxStripeNodes int
+}
+
+// LockStats returns the tree's lock-contention telemetry.
+func (t *Tree) LockStats() LockStats {
+	ls := LockStats{Stripes: len(t.stripes)}
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		ls.Acquires += s.acquires.Load()
+		ls.Contended += s.contended.Load()
+		// Raw mutex, not s.lock(): the telemetry walk must not count its
+		// own acquisitions as tree traffic.
+		s.mu.Lock()
+		if n := len(s.nodes); n > ls.MaxStripeNodes {
+			ls.MaxStripeNodes = n
+		}
+		s.mu.Unlock()
+	}
+	return ls
+}
+
 // Known reports whether the state has been expanded.
 func (t *Tree) Known(fp string) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	_, ok := t.nodes[fp]
+	s := t.stripeFor(fp)
+	s.lock()
+	defer s.mu.Unlock()
+	_, ok := s.nodes[fp]
 	return ok
 }
 
@@ -135,12 +245,13 @@ func (t *Tree) Expand(fp string, actions []rl.Action, priors []float64) {
 	for _, p := range priors {
 		sum += p
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	node, ok := t.nodes[fp]
+	s := t.stripeFor(fp)
+	s.lock()
+	defer s.mu.Unlock()
+	node, ok := s.nodes[fp]
 	if !ok {
 		node = &Node{Edges: make([]EdgeEntry, 0, len(actions))}
-		t.nodes[fp] = node
+		s.nodes[fp] = node
 		t.nodeCount.Add(1)
 	}
 	// LegalActions enumerates in canonical order, so on a fresh node every
@@ -167,9 +278,10 @@ func (t *Tree) Expand(fp string, actions []rl.Action, priors []float64) {
 // action by construction. The boolean is false when the state is unknown or
 // has no edges.
 func (t *Tree) Select(fp string) (rl.Action, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	node, ok := t.nodes[fp]
+	s := t.stripeFor(fp)
+	s.lock()
+	defer s.mu.Unlock()
+	node, ok := s.nodes[fp]
 	if !ok || len(node.Edges) == 0 {
 		return rl.Action{}, false
 	}
@@ -194,9 +306,10 @@ func (t *Tree) Select(fp string) (rl.Action, bool) {
 // evolves with the design, so edges recorded on one episode's path can be
 // forbidden on another's), then re-Select among the survivors.
 func (t *Tree) Prune(fp string, a rl.Action) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	node, ok := t.nodes[fp]
+	s := t.stripeFor(fp)
+	s.lock()
+	defer s.mu.Unlock()
+	node, ok := s.nodes[fp]
 	if !ok {
 		return false
 	}
@@ -221,39 +334,46 @@ type PathStep struct {
 // Backup propagates the episode's returns through the traversed edges
 // (§4.5 phase 3): each edge's visit count increments and its cumulative
 // return accumulates the discounted return-to-go from that step.
-// returns[i] must be the return-to-go at path[i].
+// returns[i] must be the return-to-go at path[i]. The lock is taken per
+// path step (each step's state owns its own stripe), so a long backup does
+// not stall selections and expansions on unrelated states; concurrent
+// backups interleave at step granularity, which is safe because each step's
+// update is self-contained.
 func (t *Tree) Backup(path []PathStep, returns []float64) {
 	if len(path) != len(returns) {
 		panic("mcts: path/returns length mismatch")
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for i, s := range path {
-		node, ok := t.nodes[s.Fingerprint]
+	for i, ps := range path {
+		s := t.stripeFor(ps.Fingerprint)
+		s.lock()
+		node, ok := s.nodes[ps.Fingerprint]
 		if !ok {
+			s.mu.Unlock()
 			continue
 		}
-		at, found := node.find(s.Action)
+		at, found := node.find(ps.Action)
 		var e *Edge
 		if found {
 			e = &node.Edges[at].Edge
 		} else {
-			e = node.insert(at, s.Action, Edge{P: 0})
+			e = node.insert(at, ps.Action, Edge{P: 0})
 			t.edgeCount.Add(1)
 		}
 		e.N++
 		node.SumN++
 		t.visitCount.Add(1)
 		e.W += returns[i]
+		s.mu.Unlock()
 	}
 }
 
 // EdgeStats returns a copy of the edge statistics for a state, for tests
 // and diagnostics.
 func (t *Tree) EdgeStats(fp string) map[rl.Action]Edge {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	node, ok := t.nodes[fp]
+	s := t.stripeFor(fp)
+	s.lock()
+	defer s.mu.Unlock()
+	node, ok := s.nodes[fp]
 	if !ok {
 		return nil
 	}

@@ -177,8 +177,9 @@ func TestEdgesStaySorted(t *testing.T) {
 	}, []float64{1, 1})
 	tr.Expand("s", []rl.Action{act(0, 0, 1, 1, topo.Clockwise)}, []float64{1})
 	tr.Backup([]PathStep{{"s", act(2, 2, 3, 3, topo.Counterclockwise)}}, []float64{1})
-	tr.mu.Lock()
-	edges := tr.nodes["s"].Edges
+	st := tr.stripeFor("s")
+	st.mu.Lock()
+	edges := st.nodes["s"].Edges
 	if len(edges) != 4 {
 		t.Fatalf("edges = %d, want 4", len(edges))
 	}
@@ -187,7 +188,7 @@ func TestEdgesStaySorted(t *testing.T) {
 			t.Fatalf("edges out of order at %d: %v !< %v", i, edges[i-1].Action, edges[i].Action)
 		}
 	}
-	tr.mu.Unlock()
+	st.mu.Unlock()
 }
 
 // TestPruneRemovesEdge verifies Prune drops the edge, unwinds its visits
@@ -215,11 +216,12 @@ func TestPruneRemovesEdge(t *testing.T) {
 	if !ok || a != keep {
 		t.Fatalf("selected %v after prune, want %v", a, keep)
 	}
-	tr.mu.Lock()
-	if sum := tr.nodes["s"].SumN; sum != 1 {
+	sp := tr.stripeFor("s")
+	sp.mu.Lock()
+	if sum := sp.nodes["s"].SumN; sum != 1 {
 		t.Fatalf("SumN after prune = %d, want 1", sum)
 	}
-	tr.mu.Unlock()
+	sp.mu.Unlock()
 }
 
 // TestStatsCounters verifies the incrementally maintained aggregates match

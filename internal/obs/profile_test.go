@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// contend generates genuine lock contention so the mutex and block
+// profilers have events to record.
+func contend() {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				mu.Lock()
+				for j := 0; j < 50; j++ {
+					_ = j * j
+				}
+				mu.Unlock() //nolint:staticcheck // intentional hold-and-release loop
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// checkPprof asserts the file at path is a non-empty, well-formed pprof
+// profile: the output of pprof's WriteTo(_, 0) is gzip-compressed protobuf,
+// so it must carry the gzip magic and decompress to a non-empty body.
+func checkPprof(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open profile: %v", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatalf("profile at %s is not gzip-compressed pprof: %v", path, err)
+	}
+	body, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("decompress profile: %v", err)
+	}
+	if len(body) == 0 {
+		t.Fatalf("profile at %s has an empty body", path)
+	}
+}
+
+func TestStartMutexProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mutex.pprof")
+	stop, err := StartMutexProfile(path, 1) // sample every contended event
+	if err != nil {
+		t.Fatalf("StartMutexProfile: %v", err)
+	}
+	contend()
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("second stop not idempotent: %v", err)
+	}
+	checkPprof(t, path)
+}
+
+func TestStartBlockProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "block.pprof")
+	stop, err := StartBlockProfile(path, 1)
+	if err != nil {
+		t.Fatalf("StartBlockProfile: %v", err)
+	}
+	contend()
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("second stop not idempotent: %v", err)
+	}
+	checkPprof(t, path)
+}
+
+func TestStartContentionProfiles(t *testing.T) {
+	dir := t.TempDir()
+	mp, bp := filepath.Join(dir, "m.pprof"), filepath.Join(dir, "b.pprof")
+	stop, err := StartContentionProfiles(mp, bp)
+	if err != nil {
+		t.Fatalf("StartContentionProfiles: %v", err)
+	}
+	contend()
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	checkPprof(t, mp)
+	checkPprof(t, bp)
+
+	// Both paths empty: a usable no-op.
+	stop, err = StartContentionProfiles("", "")
+	if err != nil {
+		t.Fatalf("empty StartContentionProfiles: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("empty stop: %v", err)
+	}
+}
+
+func TestStartMutexProfileBadPath(t *testing.T) {
+	if _, err := StartMutexProfile(filepath.Join(t.TempDir(), "no", "such", "dir", "x.pprof"), 0); err == nil {
+		t.Fatal("no error for uncreatable path")
+	}
+	if _, err := StartBlockProfile(filepath.Join(t.TempDir(), "no", "such", "dir", "x.pprof"), 0); err == nil {
+		t.Fatal("no error for uncreatable path")
+	}
+}
